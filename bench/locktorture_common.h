@@ -1,0 +1,50 @@
+// Shared driver for the locktorture figures (13 and 14).
+#ifndef CNA_BENCH_LOCKTORTURE_COMMON_H_
+#define CNA_BENCH_LOCKTORTURE_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "kernel/locktorture.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+
+namespace cna::bench {
+
+template <qspin::SlowPathKind K>
+double LockTorturePoint(const sim::MachineConfig& machine_cfg, int threads,
+                        std::uint64_t window_ns, bool lockstat) {
+  kernel::LockTortureOptions o;
+  o.lockstat = lockstat;
+  auto torture =
+      std::make_shared<kernel::LockTorture<SimPlatform, K>>(o);
+  auto result =
+      harness::RunOnSim(machine_cfg, threads, window_ns, [torture](int) {
+        std::uint64_t i = 0;
+        return [torture, i]() mutable { torture->WriterOp(i++); };
+      });
+  return result.throughput_mops;
+}
+
+inline void LockTortureSweep(const std::string& title,
+                             const sim::MachineConfig& machine_cfg,
+                             const std::vector<int>& threads,
+                             std::uint64_t window_ns, bool lockstat) {
+  harness::SeriesTable table(title, "threads", {"stock", "CNA"});
+  for (int t : threads) {
+    table.AddRow(
+        t, {LockTorturePoint<qspin::SlowPathKind::kMcs>(machine_cfg, t,
+                                                        window_ns, lockstat),
+            LockTorturePoint<qspin::SlowPathKind::kCna>(machine_cfg, t,
+                                                        window_ns, lockstat)});
+  }
+  table.Emit();
+}
+
+}  // namespace cna::bench
+
+#endif  // CNA_BENCH_LOCKTORTURE_COMMON_H_

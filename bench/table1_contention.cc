@@ -1,0 +1,64 @@
+// Table 1: contended spin locks and call sites in the will-it-scale
+// benchmarks, regenerated with the lockstat-style accounting in MiniVfs.
+//
+// Paper's table:
+//   lock1_threads: files_struct.file_lock @ __alloc_fd, fcntl_setlk
+//   lock2_threads: file_lock_context.flc_lock @ posix_lock_inode
+//   open1_threads: files_struct.file_lock @ __alloc_fd, __close_fd;
+//                  lockref.lock @ dput, d_alloc, lockref_get_not_zero,
+//                                 lockref_get_not_dead
+//   open2_threads: files_struct.file_lock @ __alloc_fd, __close_fd
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "kernel/lockstat.h"
+#include "kernel/will_it_scale.h"
+
+int main() {
+  using namespace cna;
+  using namespace cna::bench;
+
+  auto& registry = kernel::LockStatRegistry::Global();
+  const int threads = 16;
+  const std::uint64_t window = DefaultWindowNs() / 2;
+
+  std::printf("# Table 1: contended spin locks in the will-it-scale "
+              "benchmarks (lockstat accounting)\n");
+  std::printf("%-16s %-28s %s\n", "Benchmark", "Contended spin locks",
+              "Call sites");
+
+  for (auto b : kernel::AllWisBenchmarks()) {
+    registry.Reset();
+    kernel::MiniVfsOptions vfs_options;
+    vfs_options.max_fds = 4096;
+    vfs_options.lockstat_accounting = true;
+    auto bench = std::make_shared<
+        kernel::WillItScale<SimPlatform, qspin::SlowPathKind::kMcs>>(
+        b, threads, vfs_options);
+    (void)harness::RunOnSim(sim::MachineConfig::TwoSocket(), threads, window,
+                            [bench](int t) {
+                              return [bench, t] { bench->Op(t); };
+                            });
+    const auto contended =
+        registry.ContendedLocks(/*min_contention_rate=*/0.15,
+                                /*min_acquisitions=*/500);
+    bool first = true;
+    for (const auto& lock : contended) {
+      std::string sites;
+      for (const auto& s : lock.call_sites) {
+        sites += sites.empty() ? s : (", " + s);
+      }
+      std::printf("%-16s %-28s %s\n",
+                  first ? kernel::WisBenchmarkName(b) : "",
+                  lock.lock_name.c_str(), sites.c_str());
+      first = false;
+    }
+    if (contended.empty()) {
+      std::printf("%-16s %-28s %s\n", kernel::WisBenchmarkName(b), "(none)",
+                  "");
+    }
+  }
+  registry.Reset();
+  return 0;
+}

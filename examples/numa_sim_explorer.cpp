@@ -1,0 +1,60 @@
+// NUMA machine explorer: build a custom simulated machine and compare MCS
+// against CNA on it -- the tool for "what would this lock do on YOUR box".
+//
+// Usage:  ./build/examples/example_numa_sim_explorer [sockets] [cores] [remote_ns]
+// e.g.    ./build/examples/example_numa_sim_explorer 8 16 400
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "apps/kv_bench.h"
+#include "harness/runner.h"
+#include "locks/cna.h"
+#include "locks/mcs.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+
+namespace {
+
+using namespace cna;
+
+template <typename L>
+double Run(const sim::MachineConfig& cfg, int threads) {
+  apps::KvBenchOptions kv;
+  kv.key_range = 1024;
+  kv.update_pct = 20;
+  auto bench = std::make_shared<apps::KvBench<SimPlatform, L>>(kv);
+  auto result = harness::RunOnSim(cfg, threads, 4'000'000, [bench](int t) {
+    XorShift64 rng = XorShift64::FromSeed(9 + static_cast<std::uint64_t>(t));
+    return [bench, rng]() mutable { bench->Op(rng); };
+  });
+  return result.throughput_mops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int sockets = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int remote_ns = argc > 3 ? std::atoi(argv[3]) : 320;
+
+  cna::sim::MachineConfig cfg;
+  cfg.topology = cna::numa::Topology::Uniform(sockets, cores);
+  cfg.latency.remote_miss_ns = static_cast<std::uint64_t>(remote_ns);
+
+  std::printf("simulated machine: %d sockets x %d cpus, remote miss %d ns\n",
+              sockets, cores, remote_ns);
+  std::printf("%-10s %12s %12s %10s\n", "threads", "mcs ops/us", "cna ops/us",
+              "cna/mcs");
+  for (int threads : {1, 2, sockets, sockets * cores / 2, sockets * cores}) {
+    if (threads < 1 || threads > sockets * cores) {
+      continue;
+    }
+    const double mcs = Run<cna::locks::McsLock<cna::SimPlatform>>(cfg, threads);
+    const double cna_tp =
+        Run<cna::locks::CnaLock<cna::SimPlatform>>(cfg, threads);
+    std::printf("%-10d %12.2f %12.2f %9.2fx\n", threads, mcs, cna_tp,
+                mcs > 0 ? cna_tp / mcs : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#include "apps/avl_map.h"
+
+namespace cna::apps::internal {
+
+std::uint64_t NextAvlInstanceBase() {
+  // 2^26 modelled lines per instance keeps even multi-million-node trees from
+  // overlapping the next instance's id range.
+  static std::atomic<std::uint64_t> next{0};
+  return (next.fetch_add(1, std::memory_order_relaxed) << 26) + (5ull << 30);
+}
+
+}  // namespace cna::apps::internal

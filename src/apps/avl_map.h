@@ -1,0 +1,238 @@
+// AVL-tree key-value map: the data structure under the paper's key-value map
+// microbenchmark (Section 7.1.1: "a simple key-value map implemented on top
+// of an AVL tree protected with a single lock").
+//
+// The tree is a real, fully functional AVL implementation (rotations, strict
+// balance), and every node visit is reported through P::OnDataAccess so the
+// simulator charges the critical section's cache traffic: lookups touch a
+// root-to-leaf path read-only, updates dirty the rebalanced path -- which is
+// precisely the shared data whose socket locality the CNA admission policy
+// preserves.
+#ifndef CNA_APPS_AVL_MAP_H_
+#define CNA_APPS_AVL_MAP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace cna::apps {
+
+namespace internal {
+// Distinct object-id ranges per tree instance, so two maps never share
+// modelled cache lines.
+std::uint64_t NextAvlInstanceBase();
+}  // namespace internal
+
+// NOT thread-safe by itself: the caller wraps operations in a lock, exactly
+// like the benchmark ("an AVL tree protected with a single lock").
+template <typename P>
+class AvlMap {
+ public:
+  AvlMap() : id_base_(internal::NextAvlInstanceBase()) {}
+  ~AvlMap() { Destroy(root_); }
+
+  AvlMap(const AvlMap&) = delete;
+  AvlMap& operator=(const AvlMap&) = delete;
+
+  // Inserts key -> value; returns false (and overwrites) if already present.
+  bool Insert(std::int64_t key, std::int64_t value) {
+    bool inserted = false;
+    root_ = InsertRec(root_, key, value, &inserted);
+    if (inserted) {
+      ++size_;
+    }
+    return inserted;
+  }
+
+  // Removes key; returns true if it was present.
+  bool Erase(std::int64_t key) {
+    bool erased = false;
+    root_ = EraseRec(root_, key, &erased);
+    if (erased) {
+      --size_;
+    }
+    return erased;
+  }
+
+  std::optional<std::int64_t> Lookup(std::int64_t key) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      Touch(n, /*write=*/false);
+      if (key == n->key) {
+        return n->value;
+      }
+      n = key < n->key ? n->left : n->right;
+    }
+    return std::nullopt;
+  }
+
+  bool Contains(std::int64_t key) const { return Lookup(key).has_value(); }
+
+  std::size_t Size() const { return size_; }
+  int Height() const { return HeightOf(root_); }
+
+  // Property-test support: BST ordering and AVL balance of every node.
+  bool CheckInvariants() const { return CheckRec(root_).valid; }
+
+ private:
+  struct Node {
+    std::int64_t key;
+    std::int64_t value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+    std::uint64_t id = 0;
+  };
+
+  void Touch(const Node* n, bool write) const {
+    P::OnDataAccess(id_base_ + n->id, write);
+  }
+
+  static int HeightOf(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static int BalanceOf(const Node* n) {
+    return n == nullptr ? 0 : HeightOf(n->left) - HeightOf(n->right);
+  }
+
+  void UpdateHeight(Node* n) {
+    n->height = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
+    Touch(n, /*write=*/true);
+  }
+
+  Node* RotateRight(Node* y) {
+    Node* x = y->left;
+    Touch(x, /*write=*/true);
+    y->left = x->right;
+    x->right = y;
+    UpdateHeight(y);
+    UpdateHeight(x);
+    return x;
+  }
+
+  Node* RotateLeft(Node* x) {
+    Node* y = x->right;
+    Touch(y, /*write=*/true);
+    x->right = y->left;
+    y->left = x;
+    UpdateHeight(x);
+    UpdateHeight(y);
+    return y;
+  }
+
+  Node* Rebalance(Node* n) {
+    UpdateHeight(n);
+    const int balance = BalanceOf(n);
+    if (balance > 1) {
+      if (BalanceOf(n->left) < 0) {
+        n->left = RotateLeft(n->left);
+      }
+      return RotateRight(n);
+    }
+    if (balance < -1) {
+      if (BalanceOf(n->right) > 0) {
+        n->right = RotateRight(n->right);
+      }
+      return RotateLeft(n);
+    }
+    return n;
+  }
+
+  Node* InsertRec(Node* n, std::int64_t key, std::int64_t value,
+                  bool* inserted) {
+    if (n == nullptr) {
+      Node* fresh = new Node;
+      fresh->key = key;
+      fresh->value = value;
+      fresh->id = next_node_id_++;
+      Touch(fresh, /*write=*/true);
+      *inserted = true;
+      return fresh;
+    }
+    Touch(n, /*write=*/false);
+    if (key == n->key) {
+      n->value = value;
+      Touch(n, /*write=*/true);
+      *inserted = false;
+      return n;
+    }
+    if (key < n->key) {
+      n->left = InsertRec(n->left, key, value, inserted);
+    } else {
+      n->right = InsertRec(n->right, key, value, inserted);
+    }
+    return Rebalance(n);
+  }
+
+  Node* EraseRec(Node* n, std::int64_t key, bool* erased) {
+    if (n == nullptr) {
+      *erased = false;
+      return nullptr;
+    }
+    Touch(n, /*write=*/false);
+    if (key < n->key) {
+      n->left = EraseRec(n->left, key, erased);
+    } else if (key > n->key) {
+      n->right = EraseRec(n->right, key, erased);
+    } else {
+      *erased = true;
+      if (n->left == nullptr || n->right == nullptr) {
+        Node* child = n->left != nullptr ? n->left : n->right;
+        delete n;
+        return child;  // may be nullptr
+      }
+      // Two children: replace with in-order successor.
+      Node* succ = n->right;
+      while (succ->left != nullptr) {
+        Touch(succ, /*write=*/false);
+        succ = succ->left;
+      }
+      n->key = succ->key;
+      n->value = succ->value;
+      Touch(n, /*write=*/true);
+      bool dummy = false;
+      n->right = EraseRec(n->right, succ->key, &dummy);
+    }
+    return Rebalance(n);
+  }
+
+  struct CheckResult {
+    bool valid;
+    int height;
+    std::int64_t min;
+    std::int64_t max;
+  };
+
+  CheckResult CheckRec(const Node* n) const {
+    if (n == nullptr) {
+      return {true, 0, 0, 0};
+    }
+    const CheckResult l = CheckRec(n->left);
+    const CheckResult r = CheckRec(n->right);
+    bool ok = l.valid && r.valid;
+    ok = ok && (n->left == nullptr || l.max < n->key);
+    ok = ok && (n->right == nullptr || r.min > n->key);
+    const int h = 1 + std::max(l.height, r.height);
+    ok = ok && h == n->height;
+    ok = ok && std::abs(l.height - r.height) <= 1;
+    return {ok, h, n->left != nullptr ? l.min : n->key,
+            n->right != nullptr ? r.max : n->key};
+  }
+
+  void Destroy(Node* n) {
+    if (n == nullptr) {
+      return;
+    }
+    Destroy(n->left);
+    Destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t id_base_;
+  std::uint64_t next_node_id_ = 0;
+};
+
+}  // namespace cna::apps
+
+#endif  // CNA_APPS_AVL_MAP_H_

@@ -1,0 +1,92 @@
+// The paper's key-value map microbenchmark (Section 7.1.1): an AVL map under
+// a single lock, random operation mix, optional external (non-critical) work.
+//
+// "After initial warmup ... all threads start running at the same time, and
+// apply operations chosen uniformly and at random from the given operation
+// mix, with keys chosen uniformly and at random from the given range. ...
+// The key-value map is pre-initialized to contain roughly half of the key
+// range."
+#ifndef CNA_APPS_KV_BENCH_H_
+#define CNA_APPS_KV_BENCH_H_
+
+#include <cstdint>
+
+#include "apps/avl_map.h"
+#include "base/rng.h"
+#include "locks/lock_api.h"
+
+namespace cna::apps {
+
+struct KvBenchOptions {
+  std::int64_t key_range = 1024;
+  // Percentage of update operations (split evenly insert/remove); the paper's
+  // headline workload is 20 (80% lookups), plus a 100 variant.
+  int update_pct = 20;
+  // Non-critical-section work between operations, in modelled ns ("simulated
+  // by a pseudo-random number calculation loop").  0 in Figure 6; >0 in
+  // Figure 9.
+  std::uint64_t external_work_ns = 0;
+  // Instruction-execution time of one map operation beyond its memory
+  // traffic; charged inside the critical section.  Calibrated so the
+  // single-thread throughput lands near the paper's ~5-6 ops/us.
+  std::uint64_t cs_compute_ns = 100;
+  std::uint64_t seed = 42;
+};
+
+// One benchmark instance: the lock plus the tree it protects.
+template <typename P, locks::Lockable L>
+class KvBench {
+ public:
+  explicit KvBench(KvBenchOptions options) : options_(options) {
+    // Pre-fill with ~half the key range, deterministically.
+    XorShift64 rng = XorShift64::FromSeed(options.seed);
+    for (std::int64_t k = 0; k < options.key_range; ++k) {
+      if (rng.Next() & 1) {
+        map_.Insert(k, k);
+      }
+    }
+  }
+
+  // One operation by a worker owning `rng`; returns true if it was an update
+  // that modified the map (used by tests).
+  bool Op(XorShift64& rng) {
+    const std::int64_t key =
+        static_cast<std::int64_t>(rng.NextBelow(
+            static_cast<std::uint64_t>(options_.key_range)));
+    const bool update =
+        static_cast<int>(rng.NextBelow(100)) < options_.update_pct;
+    const bool insert = update && (rng.Next() & 1) != 0;
+
+    bool modified = false;
+    {
+      locks::ScopedLock<L> guard(lock_);
+      P::ExternalWork(options_.cs_compute_ns);
+      if (!update) {
+        (void)map_.Lookup(key);
+      } else if (insert) {
+        modified = map_.Insert(key, key);
+      } else {
+        modified = map_.Erase(key);
+      }
+    }
+    if (options_.external_work_ns > 0) {
+      // Jittered external work, like the benchmark's PRNG loop.
+      const std::uint64_t w = options_.external_work_ns;
+      P::ExternalWork(w / 2 + rng.NextBelow(w + 1));
+    }
+    return modified;
+  }
+
+  L& lock() { return lock_; }
+  AvlMap<P>& map() { return map_; }
+  const KvBenchOptions& options() const { return options_; }
+
+ private:
+  KvBenchOptions options_;
+  L lock_;
+  AvlMap<P> map_;
+};
+
+}  // namespace cna::apps
+
+#endif  // CNA_APPS_KV_BENCH_H_

@@ -1,0 +1,160 @@
+// MiniKyotoDb: stand-in for Kyoto Cabinet's kccachetest "wicked" benchmark as
+// the paper runs it (Section 7.1.3, Figure 12).  See DESIGN.md §1.
+//
+// Following Dice [Malthusian locks] and the paper: the DB's internal mutexes
+// are replaced by the evaluated POSIX-style lock, the key range is fixed at
+// 10M elements, and the run is time-based.  The resulting profile is a single
+// heavily contended lock around short hash-table critical sections -- the
+// benchmark "does not scale, and in fact becomes worse as contention grows",
+// so the best absolute throughput is at one thread and the interesting
+// question is how little each lock loses.
+#ifndef CNA_APPS_MINI_KYOTO_H_
+#define CNA_APPS_MINI_KYOTO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "locks/lock_api.h"
+
+namespace cna::apps {
+
+struct MiniKyotoOptions {
+  std::uint64_t key_range = 10'000'000;  // the paper's fixed 10M
+  std::size_t buckets_log2 = 20;         // 1M slots, open addressing
+  std::uint64_t cs_compute_ns = 70;      // hashing/serialization inside the CS
+  std::uint64_t external_work_ns = 0;    // kccachetest wicked: negligible non-CS work
+};
+
+template <typename P, locks::Lockable L>
+class MiniKyotoDb {
+ public:
+  explicit MiniKyotoDb(MiniKyotoOptions options)
+      : options_(options),
+        mask_((std::size_t{1} << options.buckets_log2) - 1),
+        keys_(mask_ + 1, kEmpty),
+        values_(mask_ + 1, 0) {}
+
+  MiniKyotoDb(const MiniKyotoDb&) = delete;
+  MiniKyotoDb& operator=(const MiniKyotoDb&) = delete;
+
+  // One iteration of the wicked mix: a random operation on a random key.
+  // Returns true if the operation mutated the table.
+  bool WickedOp(XorShift64& rng) {
+    const std::uint64_t key = 1 + rng.NextBelow(options_.key_range);
+    const std::uint64_t pick = rng.NextBelow(8);
+
+    bool mutated = false;
+    {
+      locks::ScopedLock<L> guard(lock_);
+      P::ExternalWork(options_.cs_compute_ns);
+      if (pick < 3) {
+        mutated = Set(key, key * 3);
+      } else if (pick < 6) {
+        (void)Get(key);
+      } else if (pick == 6) {
+        mutated = Remove(key);
+      } else {
+        // "iterate": touch a short run of slots, as the wicked mode's cursor
+        // operations do.
+        std::size_t slot = Hash(key);
+        for (int i = 0; i < 4; ++i) {
+          P::OnDataAccess(kBaseId + ((slot + static_cast<std::size_t>(i)) &
+                                     mask_),
+                          /*write=*/false);
+        }
+      }
+    }
+    if (options_.external_work_ns > 0) {
+      P::ExternalWork(options_.external_work_ns);
+    }
+    return mutated;
+  }
+
+  // Single-key operations (callers must hold no lock; used by tests).
+  bool SetLocked(std::uint64_t key, std::uint64_t value) {
+    locks::ScopedLock<L> guard(lock_);
+    return Set(key, value);
+  }
+  std::uint64_t GetLocked(std::uint64_t key) {
+    locks::ScopedLock<L> guard(lock_);
+    return Get(key);
+  }
+  bool RemoveLocked(std::uint64_t key) {
+    locks::ScopedLock<L> guard(lock_);
+    return Remove(key);
+  }
+
+  L& lock() { return lock_; }
+  std::uint64_t external_work_ns() const { return options_.external_work_ns; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kBaseId = 3ull << 34;
+  static constexpr int kMaxProbe = 8;
+
+  std::size_t Hash(std::uint64_t key) const {
+    return static_cast<std::size_t>(key * 0x9e3779b97f4a7c15ull >> 24) & mask_;
+  }
+
+  bool Set(std::uint64_t key, std::uint64_t value) {
+    std::size_t slot = Hash(key);
+    for (int i = 0; i < kMaxProbe; ++i, slot = (slot + 1) & mask_) {
+      P::OnDataAccess(kBaseId + slot, /*write=*/false);
+      if (keys_[slot] == key || keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        values_[slot] = value;
+        P::OnDataAccess(kBaseId + slot, /*write=*/true);
+        return true;
+      }
+    }
+    // Probe chain full: overwrite the home slot (cache-DB overwrite
+    // semantics -- bounded memory, like CacheDB's capped buckets).
+    slot = Hash(key);
+    keys_[slot] = key;
+    values_[slot] = value;
+    P::OnDataAccess(kBaseId + slot, /*write=*/true);
+    return true;
+  }
+
+  std::uint64_t Get(std::uint64_t key) {
+    std::size_t slot = Hash(key);
+    for (int i = 0; i < kMaxProbe; ++i, slot = (slot + 1) & mask_) {
+      P::OnDataAccess(kBaseId + slot, /*write=*/false);
+      if (keys_[slot] == key) {
+        return values_[slot];
+      }
+      if (keys_[slot] == kEmpty) {
+        return 0;
+      }
+    }
+    return 0;
+  }
+
+  bool Remove(std::uint64_t key) {
+    std::size_t slot = Hash(key);
+    for (int i = 0; i < kMaxProbe; ++i, slot = (slot + 1) & mask_) {
+      P::OnDataAccess(kBaseId + slot, /*write=*/false);
+      if (keys_[slot] == key) {
+        keys_[slot] = kEmpty;
+        values_[slot] = 0;
+        P::OnDataAccess(kBaseId + slot, /*write=*/true);
+        return true;
+      }
+      if (keys_[slot] == kEmpty) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  MiniKyotoOptions options_;
+  L lock_;
+  std::size_t mask_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace cna::apps
+
+#endif  // CNA_APPS_MINI_KYOTO_H_

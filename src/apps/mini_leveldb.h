@@ -1,0 +1,183 @@
+// MiniLevelDb: stand-in for leveldb 1.20's db_bench readrandom workload
+// (Section 7.1.2, Figure 11).  See DESIGN.md §1 for the substitution.
+//
+// What matters for the paper's experiment is the locking profile of Get():
+//   1. "Each Get operation acquires a global database lock in order to take a
+//      consistent snapshot of pointers to internal database structures (and
+//      increment reference counters ...)."            -> global_lock_, short CS
+//   2. "The search operation itself, however, executes without holding the
+//      database lock"                                 -> lock-free binary
+//      search over the pre-filled sorted table (real work, real data traffic)
+//   3. "but acquires locks protecting (sharded) LRU cache as it seeks to
+//      update the cache structure with the accessed key."  -> 16 shard locks
+//   4. Releasing the snapshot re-acquires the global lock to drop the refs.
+//
+// Pre-filled DB (1M keys): long step 2 => moderate global-lock contention,
+// Figure 11(a).  Empty DB: step 2 vanishes => the global lock is pounded,
+// Figure 11(b), "similar to the microbenchmark results with no external
+// work".
+#ifndef CNA_APPS_MINI_LEVELDB_H_
+#define CNA_APPS_MINI_LEVELDB_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cacheline.h"
+#include "base/rng.h"
+#include "locks/lock_api.h"
+
+namespace cna::apps {
+
+struct MiniLevelDbOptions {
+  // db_bench default: 1M key-value pairs.  0 reproduces the empty-DB run.
+  std::uint64_t prefill_keys = 1'000'000;
+  // leveldb's LRU block cache is sharded 16 ways.
+  static constexpr int kShards = 16;
+  std::size_t cache_capacity_per_shard = 4096;
+  std::uint64_t seed = 7;
+  // Instruction-execution cost of the global-lock critical section.
+  std::uint64_t snapshot_cs_ns = 40;
+};
+
+template <typename P, locks::Lockable L>
+class MiniLevelDb {
+ public:
+  explicit MiniLevelDb(MiniLevelDbOptions options) : options_(options) {
+    table_.reserve(options.prefill_keys);
+    for (std::uint64_t i = 0; i < options.prefill_keys; ++i) {
+      table_.push_back({i, MixValue(i)});
+    }
+  }
+
+  MiniLevelDb(const MiniLevelDb&) = delete;
+  MiniLevelDb& operator=(const MiniLevelDb&) = delete;
+
+  // db_bench readrandom: Get a uniformly random key.
+  std::optional<std::uint64_t> ReadRandomOp(XorShift64& rng) {
+    const std::uint64_t range =
+        options_.prefill_keys == 0 ? 1'000'000 : options_.prefill_keys;
+    return Get(rng.NextBelow(range));
+  }
+
+  std::optional<std::uint64_t> Get(std::uint64_t key) {
+    // (1) Take the snapshot under the global DB lock: read version pointers,
+    // bump reference counts (a *write* to shared state -- this is the line
+    // that ping-pongs between sockets under a NUMA-oblivious lock).
+    {
+      locks::ScopedLock<L> guard(global_lock_);
+      P::ExternalWork(options_.snapshot_cs_ns);
+      P::OnDataAccess(kVersionId, /*write=*/false);
+      ++version_refs_;
+      P::OnDataAccess(kRefsId, /*write=*/true);
+    }
+
+    // (2) Search without the DB lock.
+    std::optional<std::uint64_t> result = SearchTable(key);
+
+    // (3) Update the sharded LRU cache.
+    TouchCache(key);
+
+    // (4) Release the snapshot.
+    {
+      locks::ScopedLock<L> guard(global_lock_);
+      --version_refs_;
+      P::OnDataAccess(kRefsId, /*write=*/true);
+    }
+    return result;
+  }
+
+  // Writer path (tests/examples; db_bench readrandom does not call it).
+  void Put(std::uint64_t key, std::uint64_t value) {
+    locks::ScopedLock<L> guard(global_lock_);
+    P::ExternalWork(options_.snapshot_cs_ns);
+    memtable_[key] = value;
+    P::OnDataAccess(kMemtableId + key % 64, /*write=*/true);
+  }
+
+  std::uint64_t version_refs() const { return version_refs_; }
+  L& global_lock() { return global_lock_; }
+
+  static std::uint64_t MixValue(std::uint64_t key) {
+    return key * 0x9e3779b97f4a7c15ull;
+  }
+
+ private:
+  static constexpr std::uint64_t kVersionId = 1ull << 34;
+  static constexpr std::uint64_t kRefsId = (1ull << 34) + 1;
+  static constexpr std::uint64_t kMemtableId = (1ull << 34) + 16;
+  static constexpr std::uint64_t kTableId = (1ull << 34) + 256;
+  static constexpr std::uint64_t kShardId = (1ull << 34) + (1ull << 30);
+
+  std::optional<std::uint64_t> SearchTable(std::uint64_t key) {
+    // Memtable first (empty in readrandom runs; linear in tests' small data).
+    {
+      auto it = memtable_.find(key);
+      P::OnDataAccess(kMemtableId + key % 64, /*write=*/false);
+      if (it != memtable_.end()) {
+        return it->second;
+      }
+    }
+    // Binary search of the sorted run; each probe is a (mostly cold) read.
+    std::size_t lo = 0;
+    std::size_t hi = table_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      P::OnDataAccess(kTableId + mid / 4, /*write=*/false);
+      if (table_[mid].first < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < table_.size() && table_[lo].first == key) {
+      return table_[lo].second;
+    }
+    return std::nullopt;
+  }
+
+  void TouchCache(std::uint64_t key) {
+    const std::size_t s =
+        static_cast<std::size_t>(key * 0x2545f4914f6cdd1dull >> 32) %
+        MiniLevelDbOptions::kShards;
+    Shard& shard = *shards_[s];
+    locks::ScopedLock<L> guard(shard.lock);
+    const std::uint64_t base = kShardId + (static_cast<std::uint64_t>(s) << 20);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Hit: move to the front of the LRU list.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      P::OnDataAccess(base, /*write=*/true);
+    } else {
+      shard.lru.push_front(key);
+      shard.index[key] = shard.lru.begin();
+      P::OnDataAccess(base, /*write=*/true);
+      P::OnDataAccess(base + 1 + key % 32, /*write=*/true);
+      if (shard.lru.size() > options_.cache_capacity_per_shard) {
+        shard.index.erase(shard.lru.back());
+        shard.lru.pop_back();
+        P::OnDataAccess(base + 2, /*write=*/true);
+      }
+    }
+  }
+
+  struct Shard {
+    L lock;
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        index;
+  };
+
+  MiniLevelDbOptions options_;
+  L global_lock_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> table_;  // sorted
+  std::unordered_map<std::uint64_t, std::uint64_t> memtable_;
+  std::uint64_t version_refs_ = 0;  // guarded by global_lock_
+  CacheAligned<Shard> shards_[MiniLevelDbOptions::kShards];
+};
+
+}  // namespace cna::apps
+
+#endif  // CNA_APPS_MINI_LEVELDB_H_

@@ -1,0 +1,46 @@
+// Cache-line geometry and padding helpers.
+//
+// NUMA-aware locks live and die by false sharing: every per-socket structure
+// in the hierarchical competitors (Cohort, HMCS, CST) must occupy its own
+// cache line, which is exactly the space cost the CNA paper eliminates.  The
+// helpers here make that padding explicit and auditable: lock classes expose
+// their state size through sizeof() so tests can assert the paper's footprint
+// claims (CNA == one word, Cohort/HMCS == O(sockets) lines).
+#ifndef CNA_BASE_CACHELINE_H_
+#define CNA_BASE_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace cna {
+
+// Fixed 64-byte line: every x86 server the paper targets uses 64-byte lines,
+// and the simulator's coherence directory is keyed at this granularity.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps T so that it starts on its own cache line and no neighbouring object
+// shares that line.  Used for per-socket lock state in hierarchical locks and
+// for per-thread statistic counters in the benchmark harness.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value;
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+// Number of whole cache lines occupied by an object of size `bytes`.
+constexpr std::size_t CacheLinesFor(std::size_t bytes) {
+  return (bytes + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+}  // namespace cna
+
+#endif  // CNA_BASE_CACHELINE_H_

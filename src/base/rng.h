@@ -1,0 +1,81 @@
+// Lightweight pseudo-random number generators.
+//
+// The CNA paper (Section 4) relies on "a lightweight pseudo-random number
+// generator" to decide when the lock holder should flush the secondary queue
+// (the keep_lock_local() probability) and, in the Section 6 optimization, when
+// to skip queue shuffling altogether.  These generators must be cheap enough
+// to sit on the unlock critical path, so we use xorshift variants rather than
+// <random> engines.  They are also used to drive deterministic workloads in
+// the simulator, where reproducibility is a hard requirement.
+#ifndef CNA_BASE_RNG_H_
+#define CNA_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace cna {
+
+// SplitMix64: used to expand small integer seeds into well-mixed state for the
+// other generators.  Passes BigCrush when used as a stream.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Marsaglia xorshift64: one multiply-free step, the "lightweight PRNG" the
+// paper calls for on the lock handover path.
+class XorShift64 {
+ public:
+  explicit constexpr XorShift64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 0x2545f4914f6cdd1dull) {}
+
+  // Re-seeds through SplitMix64 so that consecutive small seeds (thread ids,
+  // fiber ids) yield uncorrelated streams.
+  static constexpr XorShift64 FromSeed(std::uint64_t seed) {
+    SplitMix64 mix(seed);
+    XorShift64 rng;
+    rng.state_ = mix.Next() | 1ull;
+    return rng;
+  }
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  constexpr std::uint32_t Next32() {
+    return static_cast<std::uint32_t>(Next() >> 32);
+  }
+
+  // Uniform value in [0, bound).  Uses the widening-multiply trick to avoid a
+  // modulo on the hot path (bias is negligible for the bounds used here).
+  constexpr std::uint64_t NextBelow(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cna
+
+#endif  // CNA_BASE_RNG_H_

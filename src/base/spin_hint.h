@@ -1,0 +1,27 @@
+// CPU spin-wait hint ("polite busy waiting", CPU_PAUSE in the paper's
+// pseudo-code, Figure 3).
+#ifndef CNA_BASE_SPIN_HINT_H_
+#define CNA_BASE_SPIN_HINT_H_
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cna {
+
+// One iteration of a polite busy-wait loop.  On x86 this lowers to PAUSE,
+// which de-pipelines the spin and yields resources to the hyper-twin -- the
+// same instruction the kernel's qspinlock uses in cpu_relax().
+inline void SpinHint() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace cna
+
+#endif  // CNA_BASE_SPIN_HINT_H_

@@ -1,0 +1,62 @@
+#include "base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace cna {
+
+double FairnessFactor(std::vector<std::uint64_t> per_thread_ops) {
+  if (per_thread_ops.empty()) {
+    return 0.5;
+  }
+  std::sort(per_thread_ops.begin(), per_thread_ops.end(),
+            std::greater<std::uint64_t>());
+  const std::uint64_t total =
+      std::accumulate(per_thread_ops.begin(), per_thread_ops.end(),
+                      std::uint64_t{0});
+  if (total == 0) {
+    return 0.5;
+  }
+  // "The total number of the first half of the threads (in the sorted
+  // decreasing order of their number of operations) divided by the total
+  // number of operations."  For odd thread counts, round the half up so two
+  // threads split 1/1 -- matching the 0.5 floor for a perfectly fair lock.
+  const std::size_t half = (per_thread_ops.size() + 1) / 2;
+  const std::uint64_t top = std::accumulate(
+      per_thread_ops.begin(),
+      per_thread_ops.begin() + static_cast<std::ptrdiff_t>(half),
+      std::uint64_t{0});
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double RelStdDev(const std::vector<double>& xs) {
+  const double m = Mean(xs);
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return StdDev(xs) / m;
+}
+
+}  // namespace cna

@@ -1,0 +1,45 @@
+// Statistics helpers shared by the benchmark harness and tests.
+//
+// Includes the paper's *fairness factor* (Section 7.1.1, Figure 8): sort the
+// per-thread operation counts in decreasing order and report the share of all
+// operations performed by the top half of the threads.  A strictly fair lock
+// yields 0.5, a strictly unfair one approaches 1.0.
+#ifndef CNA_BASE_STATS_H_
+#define CNA_BASE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cna {
+
+// Fairness factor over per-thread operation counts; returns 0.5..1.0.
+// A single thread is trivially "fair" (returns 1.0 only if defined that way;
+// we follow the paper and return the top-half share, which is 1.0 for one
+// thread -- benchmarks start reporting it at 2+ threads).
+double FairnessFactor(std::vector<std::uint64_t> per_thread_ops);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Sample standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+// Relative standard deviation (stddev / mean); 0 when mean is 0.
+double RelStdDev(const std::vector<double>& xs);
+
+// Simple online accumulator for counters that the simulator updates on every
+// memory event.  Kept trivially copyable so per-CPU instances can be summed.
+struct Accumulator {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  void Add(double x) {
+    ++count;
+    sum += x;
+  }
+  double MeanOrZero() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+}  // namespace cna
+
+#endif  // CNA_BASE_STATS_H_

@@ -1,0 +1,129 @@
+// Type-erased lock interface: one runtime-selectable handle over every
+// algorithm in src/locks/ and src/qspin/.
+//
+// This is the reproduction of LiTL's role in the paper (Section 7): "all
+// locks ... are implemented as dynamic libraries conforming to the pthread
+// mutex lock API", selectable at run time so any benchmark can be pointed at
+// any lock.  Queue-node management (the per-thread preallocated nodes the
+// paper describes in Section 5) is hidden behind this interface: each
+// execution context (thread or simulated CPU) keeps a small LIFO pool of
+// handles per lock instance, mirroring the kernel's 4 statically preallocated
+// nodes per CPU.
+#ifndef CNA_CORE_ANY_LOCK_H_
+#define CNA_CORE_ANY_LOCK_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "locks/lock_api.h"
+
+namespace cna::core {
+
+// Abstract lock; Lock()/Unlock() must be LIFO-nested per execution context
+// (the same discipline the Linux kernel imposes with its 4 nesting levels).
+class AnyLock {
+ public:
+  virtual ~AnyLock() = default;
+
+  virtual void Lock() = 0;
+  virtual void Unlock() = 0;
+  // Returns false when the lock is busy *or* the algorithm has no try-lock.
+  virtual bool TryLock() = 0;
+  virtual bool SupportsTryLock() const = 0;
+
+  // sizeof of the shared lock state -- the paper's space argument.
+  virtual std::size_t StateBytes() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+namespace internal {
+
+// Per-execution-context handle pool for one adapter instance.  Slots are
+// indexed by P::CpuId() (dense thread id on hardware, simulated CPU id in the
+// simulator); each slot is only ever touched by its own context.
+template <typename L>
+struct HandleStack {
+  std::vector<std::unique_ptr<typename L::Handle>> free;
+  std::vector<std::unique_ptr<typename L::Handle>> active;
+};
+
+}  // namespace internal
+
+template <typename P, locks::Lockable L>
+class LockAdapter final : public AnyLock {
+ public:
+  explicit LockAdapter(std::string name) : name_(std::move(name)) {}
+
+  void Lock() override {
+    auto& stack = StackForThisContext();
+    std::unique_ptr<typename L::Handle> h;
+    if (!stack.free.empty()) {
+      h = std::move(stack.free.back());
+      stack.free.pop_back();
+    } else {
+      h = std::make_unique<typename L::Handle>();
+    }
+    impl_.Lock(*h);
+    stack.active.push_back(std::move(h));
+  }
+
+  void Unlock() override {
+    auto& stack = StackForThisContext();
+    if (stack.active.empty()) {
+      throw std::logic_error("AnyLock::Unlock without matching Lock");
+    }
+    auto h = std::move(stack.active.back());
+    stack.active.pop_back();
+    impl_.Unlock(*h);
+    stack.free.push_back(std::move(h));
+  }
+
+  bool TryLock() override {
+    if constexpr (locks::TryLockable<L>) {
+      auto& stack = StackForThisContext();
+      std::unique_ptr<typename L::Handle> h;
+      if (!stack.free.empty()) {
+        h = std::move(stack.free.back());
+        stack.free.pop_back();
+      } else {
+        h = std::make_unique<typename L::Handle>();
+      }
+      if (impl_.TryLock(*h)) {
+        stack.active.push_back(std::move(h));
+        return true;
+      }
+      stack.free.push_back(std::move(h));
+      return false;
+    } else {
+      return false;
+    }
+  }
+
+  bool SupportsTryLock() const override { return locks::TryLockable<L>; }
+  std::size_t StateBytes() const override { return L::kStateBytes; }
+  std::string Name() const override { return name_; }
+
+  L& impl() { return impl_; }
+
+ private:
+  static constexpr std::size_t kMaxContexts = 1024;
+
+  internal::HandleStack<L>& StackForThisContext() {
+    const auto cpu = static_cast<std::size_t>(P::CpuId()) % kMaxContexts;
+    return stacks_[cpu];
+  }
+
+  L impl_;
+  std::string name_;
+  // Indexed by context id; each slot is single-owner, so no synchronization
+  // beyond construction is needed.
+  std::array<internal::HandleStack<L>, kMaxContexts> stacks_{};
+};
+
+}  // namespace cna::core
+
+#endif  // CNA_CORE_ANY_LOCK_H_

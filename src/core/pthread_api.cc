@@ -1,0 +1,59 @@
+#include "core/pthread_api.h"
+
+#include <cerrno>
+#include <new>
+
+#include "core/registry.h"
+
+struct cna_mutex {
+  explicit cna_mutex(cna::core::LockKind kind) : impl(kind) {}
+  cna::core::Mutex impl;
+};
+
+extern "C" {
+
+cna_mutex_t* cna_mutex_create(const char* lock_name) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  return new (std::nothrow) cna_mutex(*kind);
+}
+
+cna_mutex_t* cna_mutex_create_default(void) {
+  return new (std::nothrow) cna_mutex(cna::core::LockKind::kCna);
+}
+
+void cna_mutex_destroy(cna_mutex_t* mutex) { delete mutex; }
+
+int cna_mutex_lock(cna_mutex_t* mutex) {
+  if (mutex == nullptr) {
+    return EINVAL;
+  }
+  mutex->impl.lock();
+  return 0;
+}
+
+int cna_mutex_trylock(cna_mutex_t* mutex) {
+  if (mutex == nullptr) {
+    return EINVAL;
+  }
+  return mutex->impl.try_lock() ? 0 : EBUSY;
+}
+
+int cna_mutex_unlock(cna_mutex_t* mutex) {
+  if (mutex == nullptr) {
+    return EINVAL;
+  }
+  mutex->impl.unlock();
+  return 0;
+}
+
+size_t cna_mutex_state_bytes(const cna_mutex_t* mutex) {
+  return mutex == nullptr ? 0 : mutex->impl.state_bytes();
+}
+
+}  // extern "C"

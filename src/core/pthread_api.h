@@ -1,0 +1,37 @@
+// POSIX-pthread-style C API.
+//
+// The paper ships CNA "as a stand-alone dynamically linked library conforming
+// to the POSIX pthread API" so it can be interposed under unmodified programs
+// (Section 1, Section 7).  This header is that surface: opaque mutex objects
+// with create/destroy/lock/trylock/unlock, selectable by lock name, usable
+// from C.  cna_mutex_t with kind "cna" is the library's flagship object.
+#ifndef CNA_CORE_PTHREAD_API_H_
+#define CNA_CORE_PTHREAD_API_H_
+
+#include <cstddef>
+
+extern "C" {
+
+typedef struct cna_mutex cna_mutex_t;
+
+// Creates a mutex backed by the named lock ("cna", "mcs", "hmcs", ...; see
+// core::AllLockKinds).  Returns nullptr if the name is unknown.
+cna_mutex_t* cna_mutex_create(const char* lock_name);
+
+// Creates a mutex backed by the default lock (CNA).
+cna_mutex_t* cna_mutex_create_default(void);
+
+void cna_mutex_destroy(cna_mutex_t* mutex);
+
+// Returns 0 on success (pthread convention).
+int cna_mutex_lock(cna_mutex_t* mutex);
+// Returns 0 on success, EBUSY if the lock is held or try-lock is unsupported.
+int cna_mutex_trylock(cna_mutex_t* mutex);
+int cna_mutex_unlock(cna_mutex_t* mutex);
+
+// sizeof of the shared lock state backing this mutex (CNA: one word).
+size_t cna_mutex_state_bytes(const cna_mutex_t* mutex);
+
+}  // extern "C"
+
+#endif  // CNA_CORE_PTHREAD_API_H_

@@ -1,0 +1,130 @@
+#include "core/registry.h"
+
+#include "platform/real_platform.h"
+
+namespace cna::core {
+
+const std::vector<LockKind>& AllLockKinds() {
+  static const std::vector<LockKind> kinds = {
+      LockKind::kMcs,        LockKind::kCna,
+      LockKind::kCnaOpt,     LockKind::kCnaTagged,
+      LockKind::kTas,
+      LockKind::kTtas,       LockKind::kBackoffTas,
+      LockKind::kTicket,     LockKind::kPartitionedTicket,
+      LockKind::kClh,        LockKind::kHbo,
+      LockKind::kCBoMcs,     LockKind::kCTktTkt,
+      LockKind::kCPtlTkt,    LockKind::kHmcs,
+      LockKind::kCst,        LockKind::kMcscr,
+      LockKind::kQspinMcs,   LockKind::kQspinCna,
+  };
+  return kinds;
+}
+
+std::string_view LockKindName(LockKind kind) {
+  switch (kind) {
+    case LockKind::kMcs: return "mcs";
+    case LockKind::kCna: return "cna";
+    case LockKind::kCnaOpt: return "cna-opt";
+    case LockKind::kCnaTagged: return "cna-tag";
+    case LockKind::kTas: return "tas";
+    case LockKind::kTtas: return "ttas";
+    case LockKind::kBackoffTas: return "tas-backoff";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kPartitionedTicket: return "ptl";
+    case LockKind::kClh: return "clh";
+    case LockKind::kHbo: return "hbo";
+    case LockKind::kCBoMcs: return "c-bo-mcs";
+    case LockKind::kCTktTkt: return "c-tkt-tkt";
+    case LockKind::kCPtlTkt: return "c-ptl-tkt";
+    case LockKind::kHmcs: return "hmcs";
+    case LockKind::kCst: return "cst";
+    case LockKind::kMcscr: return "mcscr";
+    case LockKind::kQspinMcs: return "qspin-mcs";
+    case LockKind::kQspinCna: return "qspin-cna";
+  }
+  return "unknown";
+}
+
+std::string_view LockKindDescription(LockKind kind) {
+  switch (kind) {
+    case LockKind::kMcs:
+      return "MCS queue lock (Mellor-Crummey & Scott 1991), NUMA-oblivious";
+    case LockKind::kCna:
+      return "Compact NUMA-aware lock (Dice & Kogan, EuroSys 2019)";
+    case LockKind::kCnaOpt:
+      return "CNA with shuffle-reduction optimization (Section 6)";
+    case LockKind::kCnaTagged:
+      return "CNA with socket encoded in next pointers (Section 6)";
+    case LockKind::kTas:
+      return "test-and-set spin lock, global spinning";
+    case LockKind::kTtas:
+      return "test-and-test-and-set spin lock";
+    case LockKind::kBackoffTas:
+      return "test-and-set with randomized exponential backoff";
+    case LockKind::kTicket:
+      return "ticket lock, FIFO, global spinning";
+    case LockKind::kPartitionedTicket:
+      return "partitioned ticket lock (Dice 2011)";
+    case LockKind::kClh:
+      return "CLH queue lock";
+    case LockKind::kHbo:
+      return "hierarchical backoff lock (Radovic & Hagersten, HPCA 2003)";
+    case LockKind::kCBoMcs:
+      return "Cohort lock: global backoff-TAS over per-socket MCS";
+    case LockKind::kCTktTkt:
+      return "Cohort lock: ticket over per-socket ticket";
+    case LockKind::kCPtlTkt:
+      return "Cohort lock: partitioned ticket over per-socket ticket";
+    case LockKind::kHmcs:
+      return "hierarchical MCS (Chabbi et al., PPoPP 2015)";
+    case LockKind::kCst:
+      return "CST-style lock with lazily allocated per-socket state";
+    case LockKind::kMcscr:
+      return "Malthusian MCS: culling + reinjection (Dice, EuroSys 2017)";
+    case LockKind::kQspinMcs:
+      return "Linux qspinlock, stock MCS slow path (4-byte word)";
+    case LockKind::kQspinCna:
+      return "Linux qspinlock with CNA slow path (the paper's kernel patch)";
+  }
+  return "";
+}
+
+std::optional<LockKind> LockKindFromName(std::string_view name) {
+  for (LockKind k : AllLockKinds()) {
+    if (LockKindName(k) == name) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsNumaAware(LockKind kind) {
+  switch (kind) {
+    case LockKind::kCna:
+    case LockKind::kCnaOpt:
+    case LockKind::kCnaTagged:
+    case LockKind::kHbo:
+    case LockKind::kCBoMcs:
+    case LockKind::kCTktTkt:
+    case LockKind::kCPtlTkt:
+    case LockKind::kHmcs:
+    case LockKind::kCst:
+    case LockKind::kQspinCna:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Mutex::Mutex(LockKind kind) : impl_(MakeLock<RealPlatform>(kind)) {}
+
+Mutex::Mutex(std::string_view name) {
+  auto kind = LockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument("cna::core::Mutex: unknown lock name \"" +
+                                std::string(name) + "\"");
+  }
+  impl_ = MakeLock<RealPlatform>(*kind);
+}
+
+}  // namespace cna::core

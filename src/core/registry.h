@@ -1,0 +1,136 @@
+// Runtime lock registry: build any implemented lock by kind or name.
+//
+// Mirrors how the paper's evaluation selects locks through LiTL's
+// LD_PRELOAD interposition -- here a factory keyed by name ("mcs", "cna",
+// "cna-opt", "c-bo-mcs", "hmcs", ...) over either platform.
+#ifndef CNA_CORE_REGISTRY_H_
+#define CNA_CORE_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/any_lock.h"
+#include "locks/clh.h"
+#include "locks/cna.h"
+#include "locks/cohort.h"
+#include "locks/cst.h"
+#include "locks/hbo.h"
+#include "locks/hmcs.h"
+#include "locks/mcs.h"
+#include "locks/mcscr.h"
+#include "locks/tas.h"
+#include "locks/ticket.h"
+#include "qspin/qspinlock.h"
+
+namespace cna::core {
+
+enum class LockKind {
+  kMcs,
+  kCna,
+  kCnaOpt,     // CNA with the Section 6 shuffle-reduction optimization
+  kCnaTagged,  // CNA with the Section 6 socket-in-next-pointer encoding
+  kTas,
+  kTtas,
+  kBackoffTas,
+  kTicket,
+  kPartitionedTicket,
+  kClh,
+  kHbo,
+  kCBoMcs,
+  kCTktTkt,
+  kCPtlTkt,
+  kHmcs,
+  kCst,
+  kMcscr,      // Malthusian MCS (culling + reinjection)
+  kQspinMcs,   // Linux qspinlock, stock (MCS slow path)
+  kQspinCna,  // Linux qspinlock with the CNA patch
+};
+
+// All kinds, in a stable presentation order.
+const std::vector<LockKind>& AllLockKinds();
+
+std::string_view LockKindName(LockKind kind);
+std::string_view LockKindDescription(LockKind kind);
+std::optional<LockKind> LockKindFromName(std::string_view name);
+
+// Whether the lock keeps ownership preferentially within a socket.
+bool IsNumaAware(LockKind kind);
+
+// Builds a type-erased lock of `kind` over platform P.
+template <typename P>
+std::unique_ptr<AnyLock> MakeLock(LockKind kind) {
+  using namespace cna::locks;  // NOLINT(build/namespaces)
+  const std::string name(LockKindName(kind));
+  switch (kind) {
+    case LockKind::kMcs:
+      return std::make_unique<LockAdapter<P, McsLock<P>>>(name);
+    case LockKind::kCna:
+      return std::make_unique<LockAdapter<P, CnaLock<P>>>(name);
+    case LockKind::kCnaOpt:
+      return std::make_unique<
+          LockAdapter<P, CnaLock<P, CnaShuffleReductionConfig>>>(name);
+    case LockKind::kCnaTagged:
+      return std::make_unique<
+          LockAdapter<P, CnaLock<P, CnaSocketInNextConfig>>>(name);
+    case LockKind::kTas:
+      return std::make_unique<LockAdapter<P, TasLock<P>>>(name);
+    case LockKind::kTtas:
+      return std::make_unique<LockAdapter<P, TtasLock<P>>>(name);
+    case LockKind::kBackoffTas:
+      return std::make_unique<LockAdapter<P, BackoffTasLock<P>>>(name);
+    case LockKind::kTicket:
+      return std::make_unique<LockAdapter<P, TicketLock<P>>>(name);
+    case LockKind::kPartitionedTicket:
+      return std::make_unique<LockAdapter<P, PartitionedTicketLock<P>>>(name);
+    case LockKind::kClh:
+      return std::make_unique<LockAdapter<P, ClhLock<P>>>(name);
+    case LockKind::kHbo:
+      return std::make_unique<LockAdapter<P, HboLock<P>>>(name);
+    case LockKind::kCBoMcs:
+      return std::make_unique<LockAdapter<P, CBoMcsLock<P>>>(name);
+    case LockKind::kCTktTkt:
+      return std::make_unique<LockAdapter<P, CTktTktLock<P>>>(name);
+    case LockKind::kCPtlTkt:
+      return std::make_unique<LockAdapter<P, CPtlTktLock<P>>>(name);
+    case LockKind::kHmcs:
+      return std::make_unique<LockAdapter<P, HmcsLock<P>>>(name);
+    case LockKind::kCst:
+      return std::make_unique<LockAdapter<P, CstLock<P>>>(name);
+    case LockKind::kMcscr:
+      return std::make_unique<LockAdapter<P, McscrLock<P>>>(name);
+    case LockKind::kQspinMcs:
+      return std::make_unique<
+          LockAdapter<P, qspin::QSpinLock<P, qspin::SlowPathKind::kMcs>>>(
+          name);
+    case LockKind::kQspinCna:
+      return std::make_unique<
+          LockAdapter<P, qspin::QSpinLock<P, qspin::SlowPathKind::kCna>>>(
+          name);
+  }
+  throw std::invalid_argument("MakeLock: unknown LockKind");
+}
+
+// User-facing mutex over the real platform.  Satisfies the C++ Lockable
+// requirements, so std::lock_guard / std::unique_lock work directly.
+class Mutex {
+ public:
+  explicit Mutex(LockKind kind);
+  explicit Mutex(std::string_view name);
+
+  void lock() { impl_->Lock(); }
+  void unlock() { impl_->Unlock(); }
+  bool try_lock() { return impl_->TryLock(); }
+
+  std::size_t state_bytes() const { return impl_->StateBytes(); }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyLock> impl_;
+};
+
+}  // namespace cna::core
+
+#endif  // CNA_CORE_REGISTRY_H_

@@ -1,0 +1,80 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace cna::harness {
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> series_names)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_(std::move(series_names)) {}
+
+void SeriesTable::AddRow(double x, const std::vector<double>& values) {
+  rows_.emplace_back(x, values);
+}
+
+std::string SeriesTable::ToText(int value_precision) const {
+  std::ostringstream os;
+  os << "# " << title_ << "\n";
+  os << std::left << std::setw(12) << x_label_;
+  for (const auto& s : series_) {
+    os << std::right << std::setw(12) << s;
+  }
+  os << "\n";
+  os << std::fixed << std::setprecision(value_precision);
+  for (const auto& [x, values] : rows_) {
+    std::ostringstream xs;
+    if (x == static_cast<double>(static_cast<long long>(x))) {
+      xs << static_cast<long long>(x);
+    } else {
+      xs << x;
+    }
+    os << std::left << std::setw(12) << xs.str();
+    for (double v : values) {
+      os << std::right << std::setw(12) << v;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string SeriesTable::ToCsv(int value_precision) const {
+  std::ostringstream os;
+  os << "figure," << x_label_;
+  for (const auto& s : series_) {
+    os << "," << s;
+  }
+  os << "\n";
+  for (const auto& [x, values] : rows_) {
+    os << '"' << title_ << '"' << ",";
+    if (x == static_cast<double>(static_cast<long long>(x))) {
+      os << static_cast<long long>(x);
+    } else {
+      os << x;
+    }
+    os << std::fixed << std::setprecision(value_precision);
+    for (double v : values) {
+      os << "," << v;
+    }
+    os << std::defaultfloat;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void SeriesTable::Emit() const {
+  std::fputs(ToText().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fflush(stdout);
+  if (const char* path = std::getenv("CNA_BENCH_CSV")) {
+    std::ofstream out(path, std::ios::app);
+    out << ToCsv();
+  }
+}
+
+}  // namespace cna::harness

@@ -1,0 +1,40 @@
+// Table/series reporting for the per-figure benchmark binaries: prints the
+// same rows/series the paper's figures plot, plus machine-readable CSV.
+#ifndef CNA_HARNESS_REPORT_H_
+#define CNA_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace cna::harness {
+
+// A figure-style series table: one row per x value (thread count), one
+// column per lock/configuration.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> series_names);
+
+  void AddRow(double x, const std::vector<double>& values);
+
+  // Pretty table for the terminal.
+  std::string ToText(int value_precision = 2) const;
+  // CSV with the same content.
+  std::string ToCsv(int value_precision = 4) const;
+
+  // Convenience: prints ToText() to stdout and, if the CNA_BENCH_CSV
+  // environment variable is set, appends ToCsv() to that file.
+  void Emit() const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::pair<double, std::vector<double>>> rows_;
+};
+
+}  // namespace cna::harness
+
+#endif  // CNA_HARNESS_REPORT_H_

@@ -1,0 +1,36 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace cna::harness {
+
+std::uint64_t BenchWindowNs(std::uint64_t default_ns) {
+  if (const char* env = std::getenv("CNA_BENCH_WINDOW_MS")) {
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms > 0) {
+      return static_cast<std::uint64_t>(ms) * 1'000'000ull;
+    }
+  }
+  return default_ns;
+}
+
+std::vector<int> ClipThreads(std::vector<int> threads) {
+  if (const char* env = std::getenv("CNA_BENCH_MAX_THREADS")) {
+    const long cap = std::strtol(env, nullptr, 10);
+    if (cap > 0) {
+      std::vector<int> out;
+      for (int t : threads) {
+        if (t <= cap) {
+          out.push_back(t);
+        }
+      }
+      if (!out.empty()) {
+        return out;
+      }
+    }
+  }
+  return threads;
+}
+
+}  // namespace cna::harness

@@ -1,0 +1,141 @@
+// Benchmark harness: drives workloads on the simulated NUMA machine (the
+// default for all paper figures) and on real threads (for examples and for
+// running this library on actual multi-socket hardware).
+//
+// Collects the three quantities the paper reports:
+//  * total throughput (ops/us) -- Figures 6, 9-15,
+//  * the fairness factor        -- Figure 8,
+//  * the remote-miss rate       -- Figure 7 (the perf LLC-load-miss proxy).
+#ifndef CNA_HARNESS_RUNNER_H_
+#define CNA_HARNESS_RUNNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stats.h"
+#include "platform/real_platform.h"
+#include "platform/thread_context.h"
+#include "sim/machine.h"
+
+namespace cna::harness {
+
+struct RunResult {
+  std::string lock_name;
+  int threads = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::uint64_t> per_thread_ops;
+  double throughput_mops = 0.0;  // ops per microsecond
+  double fairness = 0.5;
+  double remote_miss_rate = 0.0;
+  sim::CacheStats cache_stats;
+};
+
+// Environment overrides so CI can shrink/grow runs:
+//   CNA_BENCH_WINDOW_MS -- simulated milliseconds per data point
+//   CNA_BENCH_MAX_THREADS -- clip the sweep
+std::uint64_t BenchWindowNs(std::uint64_t default_ns);
+std::vector<int> ClipThreads(std::vector<int> threads);
+
+// Runs `threads` fibers on a machine built from `cfg`; each fiber constructs
+// its per-thread op via make_op(t) (called inside the fiber, so anything it
+// allocates/charges is attributed to that CPU) and then calls it repeatedly
+// until the fiber's clock passes window_ns.
+//
+// MakeOp: int -> (callable returning void, one benchmark operation per call).
+template <typename MakeOp>
+RunResult RunOnSim(const sim::MachineConfig& cfg, int threads,
+                   std::uint64_t window_ns, MakeOp&& make_op) {
+  sim::Machine machine(cfg);
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(threads), 0);
+  for (int t = 0; t < threads; ++t) {
+    machine.Spawn([&machine, &ops, &make_op, window_ns, t] {
+      auto op = make_op(t);
+      std::uint64_t& count = ops[static_cast<std::size_t>(t)];
+      while (machine.NowNs() < window_ns) {
+        op();
+        ++count;
+      }
+    });
+  }
+  machine.Run();
+
+  RunResult r;
+  r.threads = threads;
+  r.per_thread_ops = ops;
+  for (std::uint64_t c : ops) {
+    r.total_ops += c;
+  }
+  r.duration_ns = window_ns;
+  r.throughput_mops = r.duration_ns == 0
+                          ? 0.0
+                          : static_cast<double>(r.total_ops) * 1e3 /
+                                static_cast<double>(r.duration_ns);
+  r.fairness = FairnessFactor(ops);
+  r.cache_stats = machine.TotalStats();
+  r.remote_miss_rate = r.cache_stats.RemoteMissRate();
+  return r;
+}
+
+// Same driver on real OS threads, wall-clock timed.  Threads get virtual
+// socket assignments round-robin over `virtual_sockets` so the NUMA-aware
+// algorithms exercise their multi-socket paths even on one-socket hosts
+// (set virtual_sockets = 0 to use the host's real topology).
+template <typename MakeOp>
+RunResult RunOnThreads(int threads, std::chrono::nanoseconds window,
+                       int virtual_sockets, MakeOp&& make_op) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (virtual_sockets > 0) {
+        platform::ThreadContext::Current().SetVirtualSocket(
+            t % virtual_sockets);
+      }
+      auto op = make_op(t);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::uint64_t& count = ops[static_cast<std::size_t>(t)];
+      while (!stop.load(std::memory_order_acquire)) {
+        op();
+        ++count;
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(window);
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  RunResult r;
+  r.threads = threads;
+  r.per_thread_ops = ops;
+  for (std::uint64_t c : ops) {
+    r.total_ops += c;
+  }
+  r.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  r.throughput_mops = r.duration_ns == 0
+                          ? 0.0
+                          : static_cast<double>(r.total_ops) * 1e3 /
+                                static_cast<double>(r.duration_ns);
+  r.fairness = FairnessFactor(ops);
+  return r;
+}
+
+}  // namespace cna::harness
+
+#endif  // CNA_HARNESS_RUNNER_H_

@@ -1,0 +1,54 @@
+#include "kernel/lockstat.h"
+
+#include <algorithm>
+
+namespace cna::kernel {
+
+LockStatRegistry& LockStatRegistry::Global() {
+  static LockStatRegistry registry;
+  return registry;
+}
+
+void LockStatRegistry::Record(const std::string& lock_name,
+                              const std::string& call_site, bool contended) {
+  std::lock_guard<std::mutex> guard(mu_);
+  SiteStats& st = sites_[SiteKey{lock_name, call_site}];
+  ++st.acquisitions;
+  if (contended) {
+    ++st.contended;
+  }
+}
+
+void LockStatRegistry::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  sites_.clear();
+}
+
+std::vector<std::pair<LockStatRegistry::SiteKey, LockStatRegistry::SiteStats>>
+LockStatRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return {sites_.begin(), sites_.end()};
+}
+
+std::vector<LockStatRegistry::ContendedLock> LockStatRegistry::ContendedLocks(
+    double min_contention_rate, std::uint64_t min_acquisitions) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<ContendedLock> out;
+  for (const auto& [key, st] : sites_) {
+    if (st.acquisitions < min_acquisitions ||
+        st.ContentionRate() < min_contention_rate) {
+      continue;
+    }
+    auto it = std::find_if(out.begin(), out.end(), [&](const ContendedLock& c) {
+      return c.lock_name == key.lock_name;
+    });
+    if (it == out.end()) {
+      out.push_back(ContendedLock{key.lock_name, {key.call_site}});
+    } else {
+      it->call_sites.push_back(key.call_site);
+    }
+  }
+  return out;
+}
+
+}  // namespace cna::kernel

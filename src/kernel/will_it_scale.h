@@ -1,0 +1,158 @@
+// will-it-scale microbenchmark drivers over MiniVfs (Section 7.2.2,
+// Figure 15, Table 1).
+//
+// The four benchmarks the paper evaluates:
+//   lock1_threads -- threads repeatedly lock/unlock a POSIX file lock, each
+//                    on its *own* file (opened and closed per iteration, all
+//                    within one shared process fd table).
+//   lock2_threads -- same, but all threads lock regions of the *same* file,
+//                    contending the inode's file_lock_context.flc_lock.
+//   open1_threads -- threads open+close private files in the *same*
+//                    directory: the parent dentry's lockref and d_alloc
+//                    contend.
+//   open2_threads -- open+close in per-thread directories: only the shared
+//                    fd table (files_struct.file_lock) contends.
+#ifndef CNA_KERNEL_WILL_IT_SCALE_H_
+#define CNA_KERNEL_WILL_IT_SCALE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernel/minivfs.h"
+
+namespace cna::kernel {
+
+enum class WisBenchmark { kLock1, kLock2, kOpen1, kOpen2 };
+
+inline const char* WisBenchmarkName(WisBenchmark b) {
+  switch (b) {
+    case WisBenchmark::kLock1: return "lock1_threads";
+    case WisBenchmark::kLock2: return "lock2_threads";
+    case WisBenchmark::kOpen1: return "open1_threads";
+    case WisBenchmark::kOpen2: return "open2_threads";
+  }
+  return "?";
+}
+
+inline const std::vector<WisBenchmark>& AllWisBenchmarks() {
+  static const std::vector<WisBenchmark> all = {
+      WisBenchmark::kLock1, WisBenchmark::kLock2, WisBenchmark::kOpen1,
+      WisBenchmark::kOpen2};
+  return all;
+}
+
+template <typename P, qspin::SlowPathKind K>
+class WillItScale {
+ public:
+  // `per_op_external_ns` models the per-iteration work outside the contended
+  // kernel locks -- syscall entry/exit, fd bookkeeping in userspace, the
+  // benchmark loop itself.  It is what lets the benchmark scale before the
+  // spin locks saturate (the paper's curves peak around 8-16 threads).
+  WillItScale(WisBenchmark bench, int num_threads, MiniVfsOptions vfs_options,
+              std::uint64_t per_op_external_ns = 4000)
+      : bench_(bench),
+        vfs_(vfs_options),
+        per_thread_(num_threads),
+        per_op_external_ns_(per_op_external_ns) {
+    switch (bench_) {
+      case WisBenchmark::kLock1: {
+        // Private file per thread; opened/closed inside the loop.
+        for (int t = 0; t < num_threads; ++t) {
+          per_thread_[t].inode = vfs_.CreateInode();
+        }
+        break;
+      }
+      case WisBenchmark::kLock2: {
+        // One shared file; every thread holds an fd to it from setup on.
+        const int shared = vfs_.CreateInode();
+        for (int t = 0; t < num_threads; ++t) {
+          per_thread_[t].inode = shared;
+          per_thread_[t].fd = vfs_.AllocFd(shared);
+          if (per_thread_[t].fd < 0) {
+            throw std::runtime_error("lock2 setup: fd table exhausted");
+          }
+        }
+        break;
+      }
+      case WisBenchmark::kOpen1: {
+        // Shared parent directory; per-thread file names.
+        const int dir = vfs_.CreateDirectory();
+        for (int t = 0; t < num_threads; ++t) {
+          per_thread_[t].dir = dir;
+          per_thread_[t].name = 0x1000 + static_cast<std::uint64_t>(t);
+        }
+        break;
+      }
+      case WisBenchmark::kOpen2: {
+        // Per-thread directories.
+        for (int t = 0; t < num_threads; ++t) {
+          per_thread_[t].dir = vfs_.CreateDirectory();
+          per_thread_[t].name = 0x1000 + static_cast<std::uint64_t>(t);
+        }
+        break;
+      }
+    }
+  }
+
+  // One benchmark iteration for thread `t`.  Returns false on an unexpected
+  // VFS failure (which tests treat as an error).
+  bool Op(int t) {
+    if (per_op_external_ns_ > 0) {
+      P::ExternalWork(per_op_external_ns_);
+    }
+    ThreadState& ts = per_thread_[static_cast<std::size_t>(t)];
+    switch (bench_) {
+      case WisBenchmark::kLock1: {
+        const int fd = vfs_.AllocFd(ts.inode);
+        if (fd < 0) {
+          return false;
+        }
+        bool ok = vfs_.FcntlSetLk(fd, 0, 1, /*owner=*/t, /*exclusive=*/true);
+        ok = vfs_.FcntlUnlock(fd, 0, 1, /*owner=*/t) == 1 && ok;
+        vfs_.CloseFd(fd);
+        return ok;
+      }
+      case WisBenchmark::kLock2: {
+        // Distinct non-overlapping region per thread of the shared file, as
+        // in the original benchmark (they contend on flc_lock, not on the
+        // ranges themselves).
+        const std::uint64_t start = static_cast<std::uint64_t>(t) * 16;
+        bool ok = vfs_.FcntlSetLk(ts.fd, start, 8, t, /*exclusive=*/true);
+        ok = vfs_.FcntlUnlock(ts.fd, start, 8, t) == 1 && ok;
+        return ok;
+      }
+      case WisBenchmark::kOpen1:
+      case WisBenchmark::kOpen2: {
+        const int fd = vfs_.Open(ts.dir, ts.name);
+        if (fd < 0) {
+          return false;
+        }
+        vfs_.Close(fd);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  MiniVfs<P, K>& vfs() { return vfs_; }
+  WisBenchmark benchmark() const { return bench_; }
+
+ private:
+  struct ThreadState {
+    int inode = -1;
+    int fd = -1;
+    int dir = -1;
+    std::uint64_t name = 0;
+  };
+
+  WisBenchmark bench_;
+  MiniVfs<P, K> vfs_;
+  std::vector<ThreadState> per_thread_;
+  std::uint64_t per_op_external_ns_;
+};
+
+}  // namespace cna::kernel
+
+#endif  // CNA_KERNEL_WILL_IT_SCALE_H_

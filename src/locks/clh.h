@@ -1,0 +1,68 @@
+// CLH queue lock (Craig; Landin & Hagersten).
+//
+// Included as the ancestor of the hierarchical CLH lock (Luchangco et al.,
+// cited in Section 2) and as an additional NUMA-oblivious baseline.  Unlike
+// MCS, a thread spins on its *predecessor's* node and leaves the queue owning
+// that node, so node ownership migrates between threads: a handle owns one
+// node at any time, and the lock owns exactly one "resting" node (the tail at
+// quiescence).  Handle + lock deletions therefore free every node exactly
+// once.
+#ifndef CNA_LOCKS_CLH_H_
+#define CNA_LOCKS_CLH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+
+namespace cna::locks {
+
+template <typename P>
+class ClhLock {
+ public:
+  struct alignas(kCacheLineSize) Node {
+    typename P::template Atomic<std::uint32_t> locked{0};
+  };
+
+  struct Handle {
+    Handle() : mine(new Node), pred(nullptr) {}
+    ~Handle() { delete mine; }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    Node* mine;
+    Node* pred;
+  };
+
+  static constexpr std::size_t kStateBytes = sizeof(void*);
+  static constexpr bool kHasTryLock = false;
+
+  ClhLock() : tail_(new Node) {}
+  // Precondition: no thread holds or waits for the lock.
+  ~ClhLock() { delete tail_.load(std::memory_order_relaxed); }
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void Lock(Handle& h) {
+    h.mine->locked.store(1, std::memory_order_relaxed);
+    h.pred = tail_.exchange(h.mine, std::memory_order_acq_rel);
+    while (h.pred->locked.load(std::memory_order_acquire) != 0) {
+      P::Pause();
+    }
+  }
+
+  void Unlock(Handle& h) {
+    Node* released = h.mine;
+    h.mine = h.pred;  // recycle the predecessor's node
+    h.pred = nullptr;
+    released->locked.store(0, std::memory_order_release);
+  }
+
+ private:
+  typename P::template Atomic<Node*> tail_;
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_CLH_H_

@@ -1,0 +1,357 @@
+// CNA: Compact NUMA-Aware lock (Dice & Kogan, EuroSys 2019).
+//
+// The paper's primary contribution, implemented exactly after the pseudo-code
+// in Figures 2-5 and the optimizations of Section 6.
+//
+// CNA is an MCS variant whose shared state is a single word (the tail of the
+// main queue) and whose acquisition path performs exactly one atomic
+// instruction (SWAP), yet it is NUMA-aware: on unlock, the holder looks for
+// the first waiter running on its own socket, moves the "remote" waiters
+// crossed on the way into a *secondary queue*, and hands the lock over
+// locally.  The secondary queue is threaded through the waiters' own nodes:
+//   * a node's `spin` field is 0 while waiting; on handover it receives
+//     either 1 ("you hold the lock, the secondary queue is empty") or a
+//     pointer to the secondary queue's head ("you hold the lock and inherit
+//     this secondary queue") -- Section 4's trick of reusing the spin field
+//     so the lock itself stays one word;
+//   * the secondary head's `sec_tail` field caches the secondary tail so
+//     appending segments and re-splicing are O(1).
+// Long-term fairness: with low probability (keep_lock_local() == 0, i.e.
+// rand & kKeepLocalMask == 0) the holder flushes the secondary queue back
+// into the main queue ahead of its successor, so remote waiters cannot
+// starve.  The secondary queue is also flushed when no same-socket successor
+// exists (Figure 1(g)).
+//
+// Configuration is a compile-time policy so that the lock object itself stays
+// exactly one word -- asserting the paper's headline space claim in the type
+// system.
+#ifndef CNA_LOCKS_CNA_H_
+#define CNA_LOCKS_CNA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+#include "locks/cna_stats.h"
+
+namespace cna::locks {
+
+// Default configuration: the paper's constants.
+struct CnaDefaultConfig {
+  // THRESHOLD (Figure 5): keep_lock_local() == rand & mask; the secondary
+  // queue is flushed with probability 1/65536 per handover.
+  static constexpr std::uint64_t kKeepLocalMask = 0xffff;
+  // Section 6 "shuffle reduction": when the secondary queue is empty, skip
+  // find_successor() with probability shuffle_mask/(shuffle_mask+1) and hand
+  // the lock to the immediate successor.  Off by default, as in the paper's
+  // base CNA; the "CNA (opt)" curves enable it.
+  static constexpr bool kShuffleReduction = false;
+  // THRESHOLD2 (Section 6): the paper's experiments use 0xff.
+  static constexpr std::uint64_t kShuffleMask = 0xff;
+  // Section 6, last optimization: draw the random number once, store it in a
+  // thread-local counter and decrement per handover instead of drawing per
+  // handover.  Off by default (paper leaves it as an engineering tweak).
+  static constexpr bool kCounterFairness = false;
+  // Section 6, first optimization: "encode the socket of a thread in the
+  // next pointer of its predecessor" -- queue nodes are cache-line aligned,
+  // so the low 6 pointer bits carry socket+1 and find_successor() can skip
+  // the cache miss on the successor's node when deciding locality.
+  static constexpr bool kEncodeSocketInNext = false;
+  // Update locks::GlobalCnaCounters() on every release (Section 7.1.1's
+  // queue-alteration statistics).  Off by default: zero instrumentation.
+  static constexpr bool kCollectStats = false;
+};
+
+// "CNA (opt)" of Section 7.1.1: shuffle reduction enabled.
+struct CnaShuffleReductionConfig : CnaDefaultConfig {
+  static constexpr bool kShuffleReduction = true;
+};
+
+// Section 6's pointer-tagging optimization enabled.
+struct CnaSocketInNextConfig : CnaDefaultConfig {
+  static constexpr bool kEncodeSocketInNext = true;
+};
+
+template <typename P, typename Cfg = CnaDefaultConfig>
+class CnaLock {
+ public:
+  // Figure 2's cna_node_t.  Padded to a cache line so each waiter spins
+  // inside its own line (the standard deployment for queue locks; the extra
+  // fields relative to MCS are the point the paper makes about node space
+  // being "almost never a practical concern").
+  struct alignas(kCacheLineSize) Handle {
+    // 0 = waiting; 1 = lock granted, secondary queue empty; any other value =
+    // lock granted, value is the secondary queue head (a Handle*).
+    typename P::template Atomic<std::uintptr_t> spin{0};
+    typename P::template Atomic<int> socket{-1};
+    typename P::template Atomic<Handle*> sec_tail{nullptr};
+    typename P::template Atomic<Handle*> next{nullptr};
+  };
+
+  static constexpr std::size_t kStateBytes = sizeof(void*);
+  static constexpr bool kHasTryLock = true;
+
+  CnaLock() = default;
+  CnaLock(const CnaLock&) = delete;
+  CnaLock& operator=(const CnaLock&) = delete;
+
+  // Figure 3.  Identical to MCS except: the socket id is recorded (only on
+  // contention, so the uncontended path pays nothing for NUMA-awareness), and
+  // an uncontended acquire sets spin to 1 so unlock always passes a non-zero
+  // value to the successor.
+  void Lock(Handle& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.socket.store(-1, std::memory_order_relaxed);
+    me.spin.store(0, std::memory_order_relaxed);
+
+    Handle* tail = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (tail == nullptr) {
+      me.spin.store(1, std::memory_order_relaxed);
+      return;
+    }
+    const int my_socket = P::CurrentSocket();
+    me.socket.store(my_socket, std::memory_order_relaxed);
+    tail->next.store(Tagged(&me, my_socket), std::memory_order_release);
+    while (me.spin.load(std::memory_order_acquire) == 0) {
+      P::Pause();
+    }
+  }
+
+  bool TryLock(Handle& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.socket.store(-1, std::memory_order_relaxed);
+    me.spin.store(0, std::memory_order_relaxed);
+    Handle* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, &me,
+                                      std::memory_order_acq_rel)) {
+      me.spin.store(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Figure 4, with the Section 6 shuffle-reduction block between the
+  // no-successor handling and the successor selection.  me.spin is loaded
+  // once into `spin` and kept in sync (a real implementation keeps it in a
+  // register; the simulator would otherwise charge every re-read).
+  void Unlock(Handle& me) {
+    Handle* next_raw = me.next.load(std::memory_order_acquire);
+    std::uintptr_t spin = me.spin.load(std::memory_order_relaxed);
+    if (Ptr(next_raw) == nullptr) {
+      // No successor visible in the main queue.
+      if (spin == 1) {
+        // Secondary queue empty too: try to return the lock to "free".
+        Handle* expected = &me;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel)) {
+          CountRelease();
+          return;
+        }
+      } else {
+        // Main queue empty but secondary is not: try to make the secondary
+        // queue the new main queue (its tail becomes the lock tail) and pass
+        // the lock to its head.
+        Handle* sec_head = reinterpret_cast<Handle*>(spin);
+        Handle* expected = &me;
+        if (tail_.compare_exchange_strong(
+                expected, sec_head->sec_tail.load(std::memory_order_relaxed),
+                std::memory_order_acq_rel)) {
+          sec_head->spin.store(1, std::memory_order_release);
+          CountRelease();
+          CountFlush();
+          return;
+        }
+      }
+      // A new waiter swapped itself in between our check and the CAS; wait
+      // for it to link itself behind us.
+      while (Ptr(next_raw = me.next.load(std::memory_order_acquire)) ==
+             nullptr) {
+        P::Pause();
+      }
+    }
+
+    if constexpr (Cfg::kShuffleReduction) {
+      // With an empty secondary queue, usually skip the queue reshuffling and
+      // hand over FIFO -- under light contention the shuffling cost is not
+      // repaid by locality (Section 6 / Figure 9's "CNA (opt)").
+      if (spin == 1 && (P::Random() & Cfg::kShuffleMask) != 0) {
+        Ptr(next_raw)->spin.store(1, std::memory_order_release);
+        CountRelease();
+        if constexpr (Cfg::kCollectStats) {
+          GlobalCnaCounters().shuffle_skips.fetch_add(
+              1, std::memory_order_relaxed);
+          GlobalCnaCounters().fifo_handovers.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        return;
+      }
+    }
+
+    Handle* succ = nullptr;
+    if (KeepLockLocal() &&
+        (succ = FindSuccessor(me, next_raw, spin)) != nullptr) {
+      // Same-socket successor found: pass the lock together with the current
+      // secondary-queue designator (1 or head pointer) -- Figure 1(b)/(d).
+      succ->spin.store(spin, std::memory_order_release);
+      if constexpr (Cfg::kCollectStats) {
+        GlobalCnaCounters().local_handovers.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    } else if (spin > 1) {
+      // Fairness flush (or no local successor): splice the secondary queue in
+      // front of our main-queue successor and hand the lock to its head --
+      // Figure 1(g).  succ->sec_tail need not be cleared: the head is about
+      // to own the lock and will never read it (paper, end of Section 5).
+      // The raw (possibly socket-tagged) next value is spliced verbatim so
+      // the tag survives for later traversals.
+      succ = reinterpret_cast<Handle*>(spin);
+      succ->sec_tail.load(std::memory_order_relaxed)
+          ->next.store(next_raw, std::memory_order_relaxed);
+      succ->spin.store(1, std::memory_order_release);
+      CountFlush();
+    } else {
+      // Secondary queue empty: plain MCS handover.
+      Ptr(next_raw)->spin.store(1, std::memory_order_release);
+      if constexpr (Cfg::kCollectStats) {
+        GlobalCnaCounters().fifo_handovers.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    CountRelease();
+  }
+
+  bool HasQueuedWaiters(const Handle& me) const {
+    return Ptr(me.next.load(std::memory_order_acquire)) != nullptr;
+  }
+
+ private:
+  // --- Socket-in-next-pointer tagging (Section 6, first optimization). ---
+  // Handles are 64-byte aligned, so the low 6 bits of a next pointer are
+  // free; they carry socket+1 (0 = no tag, fall back to the socket field).
+  static constexpr std::uintptr_t kSocketTagMask = kCacheLineSize - 1;
+
+  static Handle* Tagged(Handle* n, int socket) {
+    if constexpr (Cfg::kEncodeSocketInNext) {
+      const auto tag = static_cast<std::uintptr_t>(socket + 1);
+      if (tag <= kSocketTagMask) {
+        return reinterpret_cast<Handle*>(reinterpret_cast<std::uintptr_t>(n) |
+                                         tag);
+      }
+    }
+    return n;
+  }
+
+  static Handle* Ptr(Handle* raw) {
+    if constexpr (Cfg::kEncodeSocketInNext) {
+      return reinterpret_cast<Handle*>(reinterpret_cast<std::uintptr_t>(raw) &
+                                       ~kSocketTagMask);
+    } else {
+      return raw;
+    }
+  }
+
+  // Socket of the node `node`, preferring the tag carried by the raw next
+  // value that led to it (avoids touching the node's cache line).
+  static int SocketOf(Handle* raw, Handle* node) {
+    if constexpr (Cfg::kEncodeSocketInNext) {
+      const auto tag = reinterpret_cast<std::uintptr_t>(raw) & kSocketTagMask;
+      if (tag != 0) {
+        return static_cast<int>(tag) - 1;
+      }
+    }
+    return node->socket.load(std::memory_order_acquire);
+  }
+
+  static Handle* SpinAsNode(Handle& me) {
+    return reinterpret_cast<Handle*>(me.spin.load(std::memory_order_relaxed));
+  }
+
+  void CountRelease() {
+    if constexpr (Cfg::kCollectStats) {
+      GlobalCnaCounters().releases.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void CountFlush() {
+    if constexpr (Cfg::kCollectStats) {
+      GlobalCnaCounters().secondary_flushes.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  // Figure 5's find_successor(): walk the main queue looking for the first
+  // waiter on our socket; move everything crossed on the way into the
+  // secondary queue (appending to it if it already exists).  `next_raw` is
+  // the (possibly tagged) value read from me.next; `spin` is the caller's
+  // cached copy of me.spin and is updated in place when the secondary queue
+  // is created here.
+  Handle* FindSuccessor(Handle& me, Handle* next_raw, std::uintptr_t& spin) {
+    Handle* next = Ptr(next_raw);
+    int my_socket = me.socket.load(std::memory_order_relaxed);
+    if (my_socket == -1) {
+      // We acquired the lock uncontended and never recorded our socket.
+      my_socket = P::CurrentSocket();
+    }
+    if (SocketOf(next_raw, next) == my_socket) {
+      return next;  // immediate successor is local: nothing to move
+    }
+    Handle* sec_head = next;
+    Handle* sec_tail = next;
+    std::uint64_t segment_len = 1;
+    Handle* cur_raw = next->next.load(std::memory_order_acquire);
+    while (Ptr(cur_raw) != nullptr) {
+      Handle* cur = Ptr(cur_raw);
+      if (SocketOf(cur_raw, cur) == my_socket) {
+        // Move [sec_head .. sec_tail] into the secondary queue.
+        if (spin > 1) {
+          // Append segment behind the existing secondary tail (untagged:
+          // secondary nodes keep their socket in the socket field).
+          reinterpret_cast<Handle*>(spin)
+              ->sec_tail.load(std::memory_order_relaxed)
+              ->next.store(sec_head, std::memory_order_relaxed);
+        } else {
+          // Secondary queue was empty: the segment head becomes its head.
+          spin = reinterpret_cast<std::uintptr_t>(sec_head);
+          me.spin.store(spin, std::memory_order_relaxed);
+        }
+        sec_tail->next.store(nullptr, std::memory_order_relaxed);
+        reinterpret_cast<Handle*>(spin)->sec_tail.store(
+            sec_tail, std::memory_order_relaxed);
+        if constexpr (Cfg::kCollectStats) {
+          GlobalCnaCounters().queue_alterations.fetch_add(
+              1, std::memory_order_relaxed);
+          GlobalCnaCounters().waiters_moved.fetch_add(
+              segment_len, std::memory_order_relaxed);
+        }
+        return cur;
+      }
+      sec_tail = cur;
+      ++segment_len;
+      cur_raw = cur->next.load(std::memory_order_acquire);
+    }
+    return nullptr;  // no same-socket waiter linked in yet
+  }
+
+  // Figure 5's keep_lock_local(), optionally with the Section 6 deferred-draw
+  // counter: draw once, count down per handover, flush when it hits zero.
+  bool KeepLockLocal() {
+    if constexpr (Cfg::kCounterFairness) {
+      std::uint64_t& countdown = P::TlsSlot();
+      if (countdown == 0) {
+        countdown = (P::Random() & Cfg::kKeepLocalMask) + 1;
+        return false;
+      }
+      --countdown;
+      return true;
+    } else {
+      return (P::Random() & Cfg::kKeepLocalMask) != 0;
+    }
+  }
+
+  typename P::template Atomic<Handle*> tail_{nullptr};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_CNA_H_

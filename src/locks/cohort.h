@@ -1,0 +1,129 @@
+// Lock Cohorting (Dice, Marathe & Shavit, TOPC 2015).
+//
+// The general NUMA-aware construction the paper compares against: a global
+// lock G synchronizes sockets, a per-socket local lock S[i] synchronizes
+// threads within a socket.  A holder releasing the lock passes it to a
+// same-socket waiter *without releasing G* (a "cohort pass"), up to a budget,
+// after which G is released for inter-socket fairness.
+//
+// This is exactly the structure whose memory footprint the CNA paper
+// criticizes: one local lock per socket, each on its own cache line, plus the
+// global lock -- O(sockets * cache line) bytes versus CNA's single word.
+// kStateBytes makes that cost visible to tests and benchmarks.
+//
+// Instantiations used in the paper's evaluation:
+//   C-BO-MCS  -- global backoff test-and-set, local MCS (best Cohort variant)
+//   C-TKT-TKT -- ticket at both levels
+//   C-PTL-TKT -- global partitioned ticket, local ticket
+#ifndef CNA_LOCKS_COHORT_H_
+#define CNA_LOCKS_COHORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+#include "locks/mcs.h"
+#include "locks/tas.h"
+#include "locks/ticket.h"
+
+namespace cna::locks {
+
+struct CohortDefaultConfig {
+  // Maximum consecutive same-socket handovers before the global lock is
+  // surrendered (the Cohort papers' default neighbourhood).
+  static constexpr std::uint32_t kLocalPassBudget = 64;
+  // Upper bound on sockets supported without reconfiguration; the footprint
+  // is proportional to this, which is the paper's point.
+  static constexpr int kMaxSockets = 8;
+};
+
+template <typename P, typename GlobalLock, typename LocalLock,
+          typename Cfg = CohortDefaultConfig>
+class CohortLock {
+ public:
+  struct Handle {
+    typename LocalLock::Handle local;
+    // Socket the acquisition happened on; Unlock() must use the same socket
+    // state even if the OS migrated the thread mid-critical-section.
+    std::size_t socket_index = 0;
+  };
+
+  static constexpr std::size_t kStateBytes =
+      sizeof(GlobalLock) + Cfg::kMaxSockets * kCacheLineSize;
+  static constexpr bool kHasTryLock = false;
+
+  CohortLock() = default;
+  CohortLock(const CohortLock&) = delete;
+  CohortLock& operator=(const CohortLock&) = delete;
+
+  void Lock(Handle& h) {
+    h.socket_index = SocketIndex();
+    SocketState& st = sockets_[h.socket_index];
+    st.local.Lock(h.local);
+    // We now own the socket's local lock.  If the previous local holder left
+    // the global lock to our socket (cohort pass), we are done; otherwise we
+    // must take the global lock ourselves.
+    if (st.has_global.load(std::memory_order_acquire) != 0) {
+      return;
+    }
+    global_.Lock(st.global_handle);
+    st.has_global.store(1, std::memory_order_relaxed);
+    st.pass_count.store(0, std::memory_order_relaxed);
+  }
+
+  void Unlock(Handle& h) {
+    SocketState& st = sockets_[h.socket_index];
+    const std::uint32_t passes =
+        st.pass_count.load(std::memory_order_relaxed);
+    if (passes < Cfg::kLocalPassBudget && st.local.HasQueuedWaiters(h.local)) {
+      // Cohort pass: keep the global lock bound to this socket and let the
+      // next local waiter in.
+      st.pass_count.store(passes + 1, std::memory_order_relaxed);
+      st.local.Unlock(h.local);
+      return;
+    }
+    // Budget exhausted or no local waiter: surrender the global lock, then
+    // release the local lock.  The global handle is per-socket: whichever
+    // thread releases on behalf of the socket uses the same handle the
+    // acquiring thread enqueued with (the standard cohorting "thread
+    // obliviousness" requirement).
+    st.has_global.store(0, std::memory_order_relaxed);
+    global_.Unlock(st.global_handle);
+    st.local.Unlock(h.local);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) SocketState {
+    LocalLock local;
+    // Non-zero while the global lock is held on behalf of this socket.
+    // Written and read only by the socket's local-lock holder; the local
+    // lock's release/acquire ordering makes the plain transfers safe.
+    typename P::template Atomic<std::uint32_t> has_global{0};
+    typename P::template Atomic<std::uint32_t> pass_count{0};
+    typename GlobalLock::Handle global_handle{};
+  };
+
+  std::size_t SocketIndex() const {
+    return static_cast<std::size_t>(P::CurrentSocket()) %
+           static_cast<std::size_t>(Cfg::kMaxSockets);
+  }
+
+  GlobalLock global_;
+  SocketState sockets_[Cfg::kMaxSockets];
+};
+
+// The paper's evaluated Cohort variants.
+template <typename P, typename Cfg = CohortDefaultConfig>
+using CBoMcsLock = CohortLock<P, BackoffTasLock<P>, McsLock<P>, Cfg>;
+
+template <typename P, typename Cfg = CohortDefaultConfig>
+using CTktTktLock = CohortLock<P, TicketLock<P>, TicketLock<P>, Cfg>;
+
+template <typename P, typename Cfg = CohortDefaultConfig>
+using CPtlTktLock =
+    CohortLock<P, PartitionedTicketLock<P>, TicketLock<P>, Cfg>;
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_COHORT_H_

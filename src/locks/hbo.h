@@ -1,0 +1,81 @@
+// HBO: hierarchical backoff lock (Radovic & Hagersten, HPCA 2003).
+//
+// The earliest one-word NUMA-aware lock (Section 2): the lock word stores the
+// socket number of the holder; a waiter backs off briefly when the holder is
+// on its own socket and much longer when it is remote, biasing the next
+// acquisition toward the holder's socket.  Inherits all the problems of
+// global spinning -- starvation, tuning-sensitive backoff -- which is the
+// paper's motivation for a queue-based compact NUMA-aware lock instead.
+#ifndef CNA_LOCKS_HBO_H_
+#define CNA_LOCKS_HBO_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cna::locks {
+
+struct HboDefaultConfig {
+  static constexpr std::uint64_t kLocalBackoffNs = 128;
+  static constexpr std::uint64_t kRemoteBackoffNs = 2048;
+  static constexpr std::uint64_t kMaxBackoffNs = 64 * 1024;
+};
+
+template <typename P, typename Cfg = HboDefaultConfig>
+class HboLock {
+ public:
+  struct Handle {};
+
+  static constexpr std::size_t kStateBytes = sizeof(std::uint32_t);
+  static constexpr bool kHasTryLock = true;
+
+  void Lock(Handle&) {
+    const std::uint32_t my_socket =
+        static_cast<std::uint32_t>(P::CurrentSocket());
+    std::uint64_t local_backoff = Cfg::kLocalBackoffNs;
+    std::uint64_t remote_backoff = Cfg::kRemoteBackoffNs;
+    for (;;) {
+      std::uint32_t cur = word_.load(std::memory_order_relaxed);
+      if (cur == kFree) {
+        std::uint32_t expected = kFree;
+        if (word_.compare_exchange_strong(expected, my_socket,
+                                          std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      if (cur == my_socket) {
+        P::ExternalWork(Jitter(local_backoff));
+        local_backoff = Cap(local_backoff * 2);
+      } else {
+        P::ExternalWork(Jitter(remote_backoff));
+        remote_backoff = Cap(remote_backoff * 2);
+      }
+    }
+  }
+
+  bool TryLock(Handle&) {
+    std::uint32_t expected = kFree;
+    return word_.compare_exchange_strong(
+        expected, static_cast<std::uint32_t>(P::CurrentSocket()),
+        std::memory_order_acquire);
+  }
+
+  void Unlock(Handle&) { word_.store(kFree, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kFree = 0xffffffffu;
+
+  static std::uint64_t Cap(std::uint64_t v) {
+    return v > Cfg::kMaxBackoffNs ? Cfg::kMaxBackoffNs : v;
+  }
+  static std::uint64_t Jitter(std::uint64_t v) {
+    return v / 2 + P::Random() % (v / 2 + 1);
+  }
+
+  typename P::template Atomic<std::uint32_t> word_{kFree};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_HBO_H_

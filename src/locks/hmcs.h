@@ -1,0 +1,153 @@
+// HMCS: hierarchical MCS lock (Chabbi, Fagan & Mellor-Crummey, PPoPP 2015).
+//
+// The strongest competitor in the paper's plots: an MCS lock per socket plus
+// a root MCS lock across sockets.  A waiter enqueues locally; the local queue
+// head competes for the root.  On release, the holder passes within the local
+// queue up to a threshold (encoded in the successor's status word), then
+// releases the root so another socket can proceed.
+//
+// This two-level instance matches the paper's evaluation machines (one NUMA
+// level).  Footprint: per-socket queue state on its own cache line plus the
+// root -- the O(sockets) cost CNA avoids.
+#ifndef CNA_LOCKS_HMCS_H_
+#define CNA_LOCKS_HMCS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+
+namespace cna::locks {
+
+struct HmcsDefaultConfig {
+  // Maximum consecutive local passes before the root lock is surrendered.
+  static constexpr std::uint64_t kPassThreshold = 64;
+  static constexpr int kMaxSockets = 8;
+};
+
+template <typename P, typename Cfg = HmcsDefaultConfig>
+class HmcsLock {
+  // Status protocol (values carried in Handle::status):
+  //   kWait          -- still waiting for a predecessor's signal
+  //   1..kThreshold  -- lock granted via local pass; value = pass count
+  //   kAcquireParent -- you are the local queue head; acquire the root
+  static constexpr std::uint64_t kWait = ~std::uint64_t{0};
+  static constexpr std::uint64_t kAcquireParent = kWait - 1;
+
+ public:
+  struct alignas(kCacheLineSize) Handle {
+    typename P::template Atomic<Handle*> next{nullptr};
+    typename P::template Atomic<std::uint64_t> status{kWait};
+    // Socket the acquisition happened on (release must match).
+    std::size_t socket_index = 0;
+  };
+
+  static constexpr std::size_t kStateBytes =
+      Cfg::kMaxSockets * kCacheLineSize + kCacheLineSize;
+  static constexpr bool kHasTryLock = false;
+
+  HmcsLock() = default;
+  HmcsLock(const HmcsLock&) = delete;
+  HmcsLock& operator=(const HmcsLock&) = delete;
+
+  void Lock(Handle& me) {
+    me.socket_index = SocketIndex();
+    SocketQueue& sq = sockets_[me.socket_index];
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.status.store(kWait, std::memory_order_relaxed);
+
+    Handle* pred = sq.tail.exchange(&me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(&me, std::memory_order_release);
+      std::uint64_t status;
+      while ((status = me.status.load(std::memory_order_acquire)) == kWait) {
+        P::Pause();
+      }
+      if (status < kAcquireParent) {
+        return;  // lock passed within the cohort; status = local pass count
+      }
+      // Predecessor surrendered the root: we are the local head and must
+      // acquire the root ourselves.
+    }
+    me.status.store(1, std::memory_order_relaxed);  // first holder in cohort
+    RootLock(sq.root_node);
+  }
+
+  void Unlock(Handle& me) {
+    SocketQueue& sq = sockets_[me.socket_index];
+    const std::uint64_t count = me.status.load(std::memory_order_relaxed);
+    Handle* succ = me.next.load(std::memory_order_acquire);
+    if (succ != nullptr && count < Cfg::kPassThreshold) {
+      succ->status.store(count + 1, std::memory_order_release);
+      return;  // local pass, root retained by this socket
+    }
+    // Give up the root first so other sockets can make progress, then deal
+    // with the local queue.
+    RootUnlock(sq.root_node);
+    if (succ == nullptr) {
+      Handle* expected = &me;
+      if (sq.tail.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel)) {
+        return;
+      }
+      while ((succ = me.next.load(std::memory_order_acquire)) == nullptr) {
+        P::Pause();
+      }
+    }
+    succ->status.store(kAcquireParent, std::memory_order_release);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) RootNode {
+    typename P::template Atomic<RootNode*> next{nullptr};
+    typename P::template Atomic<std::uint32_t> locked{0};
+  };
+
+  struct alignas(kCacheLineSize) SocketQueue {
+    typename P::template Atomic<Handle*> tail{nullptr};
+    // The socket's node in the root queue.  Only the socket's local head uses
+    // it at any time, so one per socket suffices (as in HMCS itself).
+    RootNode root_node{};
+  };
+
+  void RootLock(RootNode& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(0, std::memory_order_relaxed);
+    RootNode* pred = root_tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;
+    }
+    pred->next.store(&me, std::memory_order_release);
+    while (me.locked.load(std::memory_order_acquire) == 0) {
+      P::Pause();
+    }
+  }
+
+  void RootUnlock(RootNode& me) {
+    RootNode* next = me.next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      RootNode* expected = &me;
+      if (root_tail_.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel)) {
+        return;
+      }
+      while ((next = me.next.load(std::memory_order_acquire)) == nullptr) {
+        P::Pause();
+      }
+    }
+    next->locked.store(1, std::memory_order_release);
+  }
+
+  std::size_t SocketIndex() const {
+    return static_cast<std::size_t>(P::CurrentSocket()) %
+           static_cast<std::size_t>(Cfg::kMaxSockets);
+  }
+
+  SocketQueue sockets_[Cfg::kMaxSockets];
+  typename P::template Atomic<RootNode*> root_tail_{nullptr};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_HMCS_H_

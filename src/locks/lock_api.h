@@ -1,0 +1,51 @@
+// Uniform lock API shared by every algorithm in src/locks/.
+//
+// Each lock class L (templated over a Platform P) provides:
+//   * struct Handle -- per-acquisition state (e.g. the MCS/CNA queue node).
+//     Handles are cheap and stack-allocated; they must stay alive from Lock()
+//     until the matching Unlock() returns.  This mirrors the paper's queue
+//     nodes: "those structures can be reused for different lock acquisitions,
+//     and between different locks" (Section 5).
+//   * void Lock(Handle&), void Unlock(Handle&)
+//   * bool TryLock(Handle&) when kHasTryLock
+//   * kStateBytes -- sizeof of the shared lock state, used to verify the
+//     paper's space claims (CNA: one word; hierarchical locks: O(sockets)
+//     cache lines).
+#ifndef CNA_LOCKS_LOCK_API_H_
+#define CNA_LOCKS_LOCK_API_H_
+
+#include <concepts>
+#include <cstddef>
+
+namespace cna::locks {
+
+template <typename L>
+concept Lockable = requires(L lock, typename L::Handle h) {
+  lock.Lock(h);
+  lock.Unlock(h);
+  { L::kStateBytes } -> std::convertible_to<std::size_t>;
+};
+
+template <typename L>
+concept TryLockable = Lockable<L> && requires(L lock, typename L::Handle h) {
+  { lock.TryLock(h) } -> std::convertible_to<bool>;
+};
+
+// RAII guard: owns a handle and the critical section.
+template <Lockable L>
+class ScopedLock {
+ public:
+  explicit ScopedLock(L& lock) : lock_(lock) { lock_.Lock(handle_); }
+  ~ScopedLock() { lock_.Unlock(handle_); }
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  L& lock_;
+  typename L::Handle handle_;
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_LOCK_API_H_

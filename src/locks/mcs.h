@@ -1,0 +1,82 @@
+// MCS queue lock (Mellor-Crummey & Scott, 1991).
+//
+// The NUMA-oblivious baseline of the paper and the algorithm CNA is derived
+// from: waiters form a queue through per-thread nodes, each spinning on a
+// flag in its own node; the shared lock state is a single tail pointer and
+// acquisition needs exactly one atomic exchange.
+#ifndef CNA_LOCKS_MCS_H_
+#define CNA_LOCKS_MCS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+
+namespace cna::locks {
+
+template <typename P>
+class McsLock {
+ public:
+  struct alignas(kCacheLineSize) Handle {
+    typename P::template Atomic<Handle*> next{nullptr};
+    typename P::template Atomic<std::uint32_t> locked{0};
+  };
+
+  static constexpr std::size_t kStateBytes = sizeof(void*);
+  static constexpr bool kHasTryLock = true;
+
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Lock(Handle& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(0, std::memory_order_relaxed);
+    Handle* prev = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (prev == nullptr) {
+      return;  // uncontended: queue was empty
+    }
+    prev->next.store(&me, std::memory_order_release);
+    while (me.locked.load(std::memory_order_acquire) == 0) {
+      P::Pause();
+    }
+  }
+
+  bool TryLock(Handle& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(0, std::memory_order_relaxed);
+    Handle* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &me,
+                                         std::memory_order_acq_rel);
+  }
+
+  void Unlock(Handle& me) {
+    Handle* next = me.next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Handle* expected = &me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;  // no successor: lock is free again
+      }
+      // A successor swapped itself in but has not linked yet; wait for it.
+      while ((next = me.next.load(std::memory_order_acquire)) == nullptr) {
+        P::Pause();
+      }
+    }
+    next->locked.store(1, std::memory_order_release);
+  }
+
+  // True if some thread is queued behind the holder (approximate; used by
+  // cohort locks for the "alone?" test).
+  bool HasQueuedWaiters(const Handle& me) const {
+    return me.next.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  typename P::template Atomic<Handle*> tail_{nullptr};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_MCS_H_

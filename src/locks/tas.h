@@ -1,0 +1,120 @@
+// Test-and-set spin locks (Anderson, 1990) -- with and without the
+// test-and-test-and-set refinement and exponential backoff.
+//
+// Related-work baselines (Section 2): one word of state, global spinning, no
+// fairness guarantee.  The backoff variant doubles as the *global* lock of
+// the paper's best Cohort configuration, C-BO-MCS, whose starvation-prone
+// behaviour Figure 8 demonstrates.
+#ifndef CNA_LOCKS_TAS_H_
+#define CNA_LOCKS_TAS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cna::locks {
+
+// Plain test-and-set: spin with atomic exchanges.
+template <typename P>
+class TasLock {
+ public:
+  struct Handle {};  // stateless
+
+  static constexpr std::size_t kStateBytes = sizeof(std::uint32_t);
+  static constexpr bool kHasTryLock = true;
+
+  void Lock(Handle&) {
+    while (word_.exchange(1, std::memory_order_acquire) != 0) {
+      P::Pause();
+    }
+  }
+
+  bool TryLock(Handle&) {
+    return word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Unlock(Handle&) { word_.store(0, std::memory_order_release); }
+
+ private:
+  typename P::template Atomic<std::uint32_t> word_{0};
+};
+
+// Test-and-test-and-set: spin on a plain load, attempt the exchange only when
+// the lock looks free -- much less coherence traffic than plain TAS.
+template <typename P>
+class TtasLock {
+ public:
+  struct Handle {};
+
+  static constexpr std::size_t kStateBytes = sizeof(std::uint32_t);
+  static constexpr bool kHasTryLock = true;
+
+  void Lock(Handle&) {
+    for (;;) {
+      if (word_.load(std::memory_order_relaxed) == 0 &&
+          word_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      while (word_.load(std::memory_order_relaxed) != 0) {
+        P::Pause();
+      }
+    }
+  }
+
+  bool TryLock(Handle&) {
+    return word_.load(std::memory_order_relaxed) == 0 &&
+           word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Unlock(Handle&) { word_.store(0, std::memory_order_release); }
+
+ private:
+  typename P::template Atomic<std::uint32_t> word_{0};
+};
+
+struct BackoffDefaultConfig {
+  static constexpr std::uint64_t kMinBackoffNs = 256;
+  static constexpr std::uint64_t kMaxBackoffNs = 32 * 1024;
+};
+
+// TTAS with randomized exponential backoff ("BO"): the global component of
+// C-BO-MCS.  Backoff is burned as local work (no coherence traffic while
+// backing off), which is exactly why a releasing thread so often re-acquires
+// before anyone else notices -- the unfairness the paper calls out.
+template <typename P, typename Cfg = BackoffDefaultConfig>
+class BackoffTasLock {
+ public:
+  struct Handle {};
+
+  static constexpr std::size_t kStateBytes = sizeof(std::uint32_t);
+  static constexpr bool kHasTryLock = true;
+
+  void Lock(Handle&) {
+    std::uint64_t backoff = Cfg::kMinBackoffNs;
+    for (;;) {
+      if (word_.load(std::memory_order_relaxed) == 0 &&
+          word_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      // Randomized: sleep U[backoff/2, backoff) then double, capped.
+      const std::uint64_t jitter = P::Random() % (backoff / 2 + 1);
+      P::ExternalWork(backoff / 2 + jitter);
+      backoff = backoff * 2 > Cfg::kMaxBackoffNs ? Cfg::kMaxBackoffNs
+                                                 : backoff * 2;
+    }
+  }
+
+  bool TryLock(Handle&) {
+    return word_.load(std::memory_order_relaxed) == 0 &&
+           word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Unlock(Handle&) { word_.store(0, std::memory_order_release); }
+
+ private:
+  typename P::template Atomic<std::uint32_t> word_{0};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_TAS_H_

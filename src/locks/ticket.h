@@ -1,0 +1,115 @@
+// Ticket locks: the classic two-counter FIFO lock and Dice's partitioned
+// ticket lock (PTL).
+//
+// Both appear in the paper as components of Cohort locks: C-TKT-TKT uses
+// ticket locks at both levels, C-PTL-TKT uses a partitioned ticket lock as
+// the global component (fewer waiters per spin line) with per-socket ticket
+// locks below.
+#ifndef CNA_LOCKS_TICKET_H_
+#define CNA_LOCKS_TICKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+
+namespace cna::locks {
+
+template <typename P>
+class TicketLock {
+ public:
+  struct Handle {
+    std::uint32_t ticket = 0;
+  };
+
+  static constexpr std::size_t kStateBytes = 2 * sizeof(std::uint32_t);
+  static constexpr bool kHasTryLock = true;
+
+  void Lock(Handle& h) {
+    h.ticket = next_.fetch_add(1, std::memory_order_acq_rel);
+    while (serving_.load(std::memory_order_acquire) != h.ticket) {
+      P::Pause();
+    }
+  }
+
+  bool TryLock(Handle& h) {
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = serving;
+    // The lock is free iff next == serving; claim ticket `serving` if so.
+    if (next_.compare_exchange_strong(expected, serving + 1,
+                                      std::memory_order_acq_rel)) {
+      h.ticket = serving;
+      return true;
+    }
+    return false;
+  }
+
+  void Unlock(Handle& h) {
+    serving_.store(h.ticket + 1, std::memory_order_release);
+  }
+
+  // Number of threads queued behind the holder; used for the cohort
+  // "alone?" test.
+  bool HasQueuedWaiters(const Handle& h) const {
+    return next_.load(std::memory_order_acquire) > h.ticket + 1;
+  }
+
+ private:
+  typename P::template Atomic<std::uint32_t> next_{0};
+  typename P::template Atomic<std::uint32_t> serving_{0};
+};
+
+// Partitioned ticket lock: tickets are granted through kSlots padded grant
+// words, so at most ceil(waiters / kSlots) threads spin on any one line.
+template <typename P, int kSlots = 4>
+class PartitionedTicketLock {
+  static_assert(kSlots > 0 && (kSlots & (kSlots - 1)) == 0,
+                "kSlots must be a power of two");
+
+ public:
+  struct Handle {
+    std::uint32_t ticket = 0;
+  };
+
+  static constexpr std::size_t kStateBytes =
+      sizeof(std::uint32_t) + kSlots * kCacheLineSize;
+  static constexpr bool kHasTryLock = false;
+
+  PartitionedTicketLock() {
+    for (int i = 0; i < kSlots; ++i) {
+      // Slot i initially shows the last ticket it granted in a previous
+      // "round"; ticket 0 must find grant[0] == 0.
+      slots_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void Lock(Handle& h) {
+    h.ticket = next_.fetch_add(1, std::memory_order_acq_rel);
+    auto& grant = slots_[h.ticket & (kSlots - 1)].value;
+    while (grant.load(std::memory_order_acquire) != h.ticket) {
+      P::Pause();
+    }
+  }
+
+  void Unlock(Handle& h) {
+    const std::uint32_t next = h.ticket + 1;
+    slots_[next & (kSlots - 1)].value.store(next, std::memory_order_release);
+  }
+
+  bool HasQueuedWaiters(const Handle& h) const {
+    return next_.load(std::memory_order_acquire) > h.ticket + 1;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    typename P::template Atomic<std::uint32_t> value{0};
+  };
+
+  typename P::template Atomic<std::uint32_t> next_{0};
+  Slot slots_[kSlots];
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_TICKET_H_

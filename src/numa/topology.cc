@@ -1,0 +1,101 @@
+#include "numa/topology.h"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cna::numa {
+
+Topology Topology::Uniform(int sockets, int cpus_per_socket) {
+  if (sockets <= 0 || cpus_per_socket <= 0) {
+    throw std::invalid_argument("Topology::Uniform: non-positive dimension");
+  }
+  std::vector<int> map(static_cast<std::size_t>(sockets * cpus_per_socket));
+  for (std::size_t c = 0; c < map.size(); ++c) {
+    map[c] = static_cast<int>(c) / cpus_per_socket;
+  }
+  return FromMap(std::move(map));
+}
+
+Topology Topology::FromMap(std::vector<int> socket_of) {
+  if (socket_of.empty()) {
+    throw std::invalid_argument("Topology::FromMap: empty map");
+  }
+  Topology t;
+  t.num_sockets_ = 1 + *std::max_element(socket_of.begin(), socket_of.end());
+  for (int s : socket_of) {
+    if (s < 0) {
+      throw std::invalid_argument("Topology::FromMap: negative socket id");
+    }
+  }
+  t.socket_of_ = std::move(socket_of);
+  return t;
+}
+
+int Topology::SocketOfCpu(int cpu) const {
+  if (cpu < 0 || cpu >= NumCpus()) {
+    return 0;
+  }
+  return socket_of_[static_cast<std::size_t>(cpu)];
+}
+
+std::vector<int> Topology::CpusOfSocket(int socket) const {
+  std::vector<int> cpus;
+  for (int c = 0; c < NumCpus(); ++c) {
+    if (socket_of_[static_cast<std::size_t>(c)] == socket) {
+      cpus.push_back(c);
+    }
+  }
+  return cpus;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  os << num_sockets_ << " socket(s), " << NumCpus() << " cpu(s)";
+  return os.str();
+}
+
+namespace {
+
+// Reads an integer from a sysfs file; returns fallback on any failure.
+int ReadIntFile(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int v = fallback;
+  if (in && (in >> v) && v >= 0) {
+    return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Topology DetectRealTopology() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  const int ncpus = n > 0 ? static_cast<int>(n) : 1;
+  std::vector<int> map(static_cast<std::size_t>(ncpus), 0);
+  bool any = false;
+  for (int c = 0; c < ncpus; ++c) {
+    std::ostringstream path;
+    path << "/sys/devices/system/cpu/cpu" << c
+         << "/topology/physical_package_id";
+    const int pkg = ReadIntFile(path.str(), 0);
+    map[static_cast<std::size_t>(c)] = pkg;
+    any = any || pkg > 0;
+  }
+  (void)any;
+  return Topology::FromMap(std::move(map));
+}
+
+int CurrentSocketFromOs(const Topology& topo) {
+  const int cpu = sched_getcpu();
+  if (cpu < 0) {
+    return 0;
+  }
+  return topo.SocketOfCpu(cpu);
+}
+
+}  // namespace cna::numa

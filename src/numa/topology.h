@@ -1,0 +1,62 @@
+// Machine topology description: how many sockets, which CPU lives where.
+//
+// The paper stresses (Section 1) that hierarchical NUMA-aware locks must
+// query topology at run time because "no standard APIs for those queries
+// exist" -- one of the portability problems CNA avoids by needing only the
+// *current* socket id.  We provide both:
+//  * real detection from Linux sysfs / sched_getcpu(), used when running on
+//    actual hardware, and
+//  * explicit virtual topologies, used by tests and by the NUMA machine
+//    simulator that stands in for the paper's 2- and 4-socket Xeons.
+#ifndef CNA_NUMA_TOPOLOGY_H_
+#define CNA_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cna::numa {
+
+// Immutable description of socket/CPU layout.  CPUs are dense [0, NumCpus()).
+class Topology {
+ public:
+  // Uniform topology: `sockets` sockets with `cpus_per_socket` logical CPUs
+  // each; CPU c belongs to socket c / cpus_per_socket (block assignment,
+  // matching how Linux enumerates cores on the paper's Xeons).
+  static Topology Uniform(int sockets, int cpus_per_socket);
+
+  // Arbitrary map: socket_of[c] is the socket of CPU c.
+  static Topology FromMap(std::vector<int> socket_of);
+
+  // The paper's two evaluation machines.
+  static Topology PaperTwoSocket() { return Uniform(2, 36); }   // E5-2699 v3
+  static Topology PaperFourSocket() { return Uniform(4, 36); }  // E7-8895 v3
+
+  int NumSockets() const { return num_sockets_; }
+  int NumCpus() const { return static_cast<int>(socket_of_.size()); }
+  int SocketOfCpu(int cpu) const;
+  // CPUs belonging to `socket`, ascending.
+  std::vector<int> CpusOfSocket(int socket) const;
+
+  std::string ToString() const;
+
+ private:
+  Topology() = default;
+
+  std::vector<int> socket_of_;
+  int num_sockets_ = 0;
+};
+
+// Detects the topology of the host from /sys/devices/system/cpu/*/topology/
+// physical_package_id.  Falls back to a single-socket topology covering all
+// online CPUs when sysfs is unavailable (e.g. in minimal containers).
+Topology DetectRealTopology();
+
+// Socket of the CPU the calling thread is currently running on, via
+// sched_getcpu().  Returns 0 if the syscall is unavailable.  This is the
+// "current_numa_node()" of the paper's Figure 3 pseudo-code.
+int CurrentSocketFromOs(const Topology& topo);
+
+}  // namespace cna::numa
+
+#endif  // CNA_NUMA_TOPOLOGY_H_

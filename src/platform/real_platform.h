@@ -1,0 +1,74 @@
+// RealPlatform: binds the lock-algorithm templates to real hardware.
+//
+// Every lock in src/locks/ is a template over a Platform policy supplying:
+//   * Atomic<T>        -- atomic cell type (std::atomic here),
+//   * Pause()          -- polite spin-wait hint,
+//   * CurrentSocket()  -- the paper's current_numa_node(),
+//   * Random()/TlsSlot() -- keep_lock_local() support,
+//   * OnDataAccess()   -- critical-section data-traffic hook (no-op here; the
+//                         hardware's caches do the real thing).
+// SimPlatform (src/sim/sim_platform.h) implements the same interface against
+// the NUMA machine simulator, so one algorithm body serves both worlds.
+#ifndef CNA_PLATFORM_REAL_PLATFORM_H_
+#define CNA_PLATFORM_REAL_PLATFORM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "base/spin_hint.h"
+#include "platform/thread_context.h"
+
+namespace cna {
+
+struct RealPlatform {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  // Polite spin: PAUSE, with a periodic OS yield so spinners cannot starve
+  // the lock holder on over-subscribed machines (the classic spin-then-yield
+  // policy; essential when more threads than CPUs run the tests).
+  static void Pause() noexcept {
+    thread_local std::uint32_t spins = 0;
+    SpinHint();
+    if ((++spins & 0x3f) == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  static int CurrentSocket() {
+    return platform::ThreadContext::Current().CurrentSocket();
+  }
+
+  static std::uint64_t Random() {
+    return platform::ThreadContext::Current().Random();
+  }
+
+  static std::uint64_t& TlsSlot() {
+    return platform::ThreadContext::Current().TlsSlot();
+  }
+
+  // Dense id of the executing thread; stands in for smp_processor_id() in the
+  // user-space qspinlock build.
+  static int CpuId() {
+    return platform::ThreadContext::Current().ThreadId();
+  }
+
+  // Critical-section data-access hook: on real hardware the cache hierarchy
+  // handles locality, so this is a no-op.  The simulator charges coherence
+  // traffic here instead.
+  static void OnDataAccess(std::uint64_t /*object_id*/, bool /*write*/) {}
+
+  // External (non-critical-section) work hook: real platforms actually burn
+  // the cycles; the simulator advances the local clock instead.
+  static void ExternalWork(std::uint64_t approx_ns) {
+    // Calibration-free busy loop: ~1ns per iteration on contemporary x86.
+    for (std::uint64_t i = 0; i < approx_ns; ++i) {
+      asm volatile("" ::: "memory");
+    }
+  }
+};
+
+}  // namespace cna
+
+#endif  // CNA_PLATFORM_REAL_PLATFORM_H_

@@ -1,0 +1,48 @@
+#include "platform/thread_context.h"
+
+#include <atomic>
+
+namespace cna::platform {
+
+namespace {
+
+std::atomic<int> g_next_thread_id{0};
+
+}  // namespace
+
+const numa::Topology& HostTopology() {
+  static const numa::Topology topo = numa::DetectRealTopology();
+  return topo;
+}
+
+int MaxThreadId() { return g_next_thread_id.load(std::memory_order_acquire); }
+
+ThreadContext::ThreadContext()
+    : thread_id_(g_next_thread_id.fetch_add(1, std::memory_order_acq_rel)),
+      rng_(XorShift64::FromSeed(
+          0x5bd1e995u + static_cast<std::uint64_t>(thread_id_) * 0x9e3779b9u)) {
+}
+
+ThreadContext& ThreadContext::Current() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+int ThreadContext::CurrentSocket() {
+  if (virtual_socket_ != kAutoSocket) {
+    return virtual_socket_;
+  }
+  if (refresh_countdown_ == 0) {
+    cached_socket_ = numa::CurrentSocketFromOs(HostTopology());
+    refresh_countdown_ = kSocketRefreshPeriod;
+  }
+  --refresh_countdown_;
+  return cached_socket_;
+}
+
+void ThreadContext::SetVirtualSocket(int socket) {
+  virtual_socket_ = socket;
+  refresh_countdown_ = 0;
+}
+
+}  // namespace cna::platform

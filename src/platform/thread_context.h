@@ -1,0 +1,73 @@
+// Per-thread execution context for the real (non-simulated) platform.
+//
+// Holds what the CNA paper's Section 5/6 needs per thread:
+//  * the current socket id -- either detected from the OS and cached
+//    ("the socket number can be cached in a thread-local variable and
+//    refreshed periodically", Section 6), or pinned virtually so that tests
+//    and single-socket machines can still exercise the multi-socket paths;
+//  * a lightweight PRNG stream for keep_lock_local();
+//  * a general-purpose TLS slot used by the deferred-draw fairness counter
+//    optimization (Section 6, last paragraph).
+#ifndef CNA_PLATFORM_THREAD_CONTEXT_H_
+#define CNA_PLATFORM_THREAD_CONTEXT_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "numa/topology.h"
+
+namespace cna::platform {
+
+// Number of lock acquisitions between refreshes of the cached socket id when
+// it is OS-derived (Section 6 suggests "e.g., every 1K lock acquisitions").
+inline constexpr std::uint32_t kSocketRefreshPeriod = 1024;
+
+class ThreadContext {
+ public:
+  // Context of the calling thread (lazily constructed).
+  static ThreadContext& Current();
+
+  // Socket the thread should report to NUMA-aware locks.  If a virtual socket
+  // was assigned (tests, benchmarks, single-socket hosts), returns it;
+  // otherwise consults the OS with periodic caching.  A stale answer after
+  // migration "might have only performance implications but not correctness"
+  // (Section 5), which is why caching is legal.
+  int CurrentSocket();
+
+  // Pins this thread to a virtual socket id; kAutoSocket reverts to OS
+  // detection.
+  void SetVirtualSocket(int socket);
+  static constexpr int kAutoSocket = -1;
+
+  std::uint64_t Random() { return rng_.Next(); }
+  std::uint32_t Random32() { return rng_.Next32(); }
+  void Reseed(std::uint64_t seed) { rng_ = XorShift64::FromSeed(seed); }
+
+  // Scratch slot for lock-level per-thread state (fairness countdown).
+  std::uint64_t& TlsSlot() { return tls_slot_; }
+
+  // Dense id of this thread (assigned on first use, never reused within the
+  // process); used as the "cpu id" for user-space qspinlock tail encoding.
+  int ThreadId() const { return thread_id_; }
+
+ private:
+  ThreadContext();
+
+  int virtual_socket_ = kAutoSocket;
+  int cached_socket_ = 0;
+  std::uint32_t refresh_countdown_ = 0;
+  int thread_id_ = 0;
+  std::uint64_t tls_slot_ = 0;
+  XorShift64 rng_;
+};
+
+// Topology used for OS-based socket resolution; detected once per process.
+const numa::Topology& HostTopology();
+
+// Total number of thread ids handed out so far (upper bound on concurrent
+// threads; used to size per-"cpu" qspinlock node tables).
+int MaxThreadId();
+
+}  // namespace cna::platform
+
+#endif  // CNA_PLATFORM_THREAD_CONTEXT_H_

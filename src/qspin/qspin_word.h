@@ -1,0 +1,55 @@
+// The Linux qspinlock 4-byte word layout (Section 3 of the paper; Long,
+// "qspinlock: Introducing a 4-byte queue spinlock implementation").
+//
+//   bits  0..7  : locked byte (0 or 1)
+//   bit   8     : pending bit (one spinning near-waiter, saves a queue trip)
+//   bits 16..17 : tail index -- which of the CPU's 4 nesting-level queue
+//                 nodes is enqueued ("the Linux kernel limits the number of
+//                 contexts that can nest ... the limit is four")
+//   bits 18..31 : tail CPU + 1 (0 means "no queue")
+//
+// This encoding is what lets the whole lock fit in 4 bytes, and is also what
+// rules out hierarchical NUMA-aware locks in the kernel -- the opening that
+// CNA fills.
+#ifndef CNA_QSPIN_QSPIN_WORD_H_
+#define CNA_QSPIN_QSPIN_WORD_H_
+
+#include <cstdint>
+
+namespace cna::qspin {
+
+inline constexpr std::uint32_t kLockedMask = 0xffu;
+inline constexpr std::uint32_t kLockedVal = 1u;
+inline constexpr std::uint32_t kPendingBit = 1u << 8;
+inline constexpr int kTailIdxShift = 16;
+inline constexpr std::uint32_t kTailIdxMask = 0x3u << kTailIdxShift;
+inline constexpr int kTailCpuShift = 18;
+inline constexpr std::uint32_t kTailMask = 0xffffu << kTailIdxShift;
+inline constexpr int kMaxNesting = 4;
+// 14 bits for cpu+1.
+inline constexpr int kMaxEncodableCpus = (1 << 14) - 2;
+
+constexpr std::uint32_t EncodeTail(int cpu, int idx) {
+  return (static_cast<std::uint32_t>(cpu + 1) << kTailCpuShift) |
+         (static_cast<std::uint32_t>(idx) << kTailIdxShift);
+}
+
+constexpr int TailCpu(std::uint32_t tail_bits) {
+  return static_cast<int>(tail_bits >> kTailCpuShift) - 1;
+}
+
+constexpr int TailIdx(std::uint32_t tail_bits) {
+  return static_cast<int>((tail_bits & kTailIdxMask) >> kTailIdxShift);
+}
+
+constexpr bool HasTail(std::uint32_t word) { return (word & kTailMask) != 0; }
+constexpr bool HasPending(std::uint32_t word) {
+  return (word & kPendingBit) != 0;
+}
+constexpr bool IsLocked(std::uint32_t word) {
+  return (word & kLockedMask) != 0;
+}
+
+}  // namespace cna::qspin
+
+#endif  // CNA_QSPIN_QSPIN_WORD_H_

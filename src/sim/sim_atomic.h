@@ -1,0 +1,191 @@
+// sim::Atomic<T>: drop-in std::atomic replacement that routes every access
+// through the active sim::Machine's coherence model.
+//
+// Lock algorithms are templates over a Platform policy whose Atomic alias is
+// std::atomic<T> on real hardware and sim::Atomic<T> here.  Because the
+// machine multiplexes all fibers onto one OS thread, plain member reads and
+// writes of value_ are race-free; atomicity is provided by the cooperative
+// scheduler (a fiber only yields at the explicit points in these methods).
+//
+// Memory-order arguments are accepted for interface compatibility and
+// ignored: the simulated interleaving is sequentially consistent by
+// construction (every access is charged and serialized on the fiber's local
+// clock), which is also the model the paper's pseudo-code assumes ("we assume
+// sequential consistency for clarity", Section 5).
+#ifndef CNA_SIM_SIM_ATOMIC_H_
+#define CNA_SIM_SIM_ATOMIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "sim/machine.h"
+
+namespace cna::sim {
+
+namespace internal {
+
+// Bit pattern of a value, for the spin-park value comparison.
+template <typename T>
+std::uint64_t Bits(T v) {
+  static_assert(sizeof(T) <= 8, "sim::Atomic supports word-sized types only");
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(T));
+  return out;
+}
+
+}  // namespace internal
+
+template <typename T>
+class Atomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Atomic() noexcept : value_{} {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::atomic.
+  constexpr Atomic(T init) noexcept : value_(init) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const {
+    Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      return value_;
+    }
+    for (;;) {
+      m->OnLoad(Addr());
+      T v = value_;
+      if (!m->SpinParkIfUnchanged(Addr(), internal::Bits(v))) {
+        return v;
+      }
+      // Parked and woken: the line changed; loop to re-charge and re-read.
+    }
+  }
+
+  void store(T v, std::memory_order = std::memory_order_seq_cst) {
+    Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      value_ = v;
+      return;
+    }
+    m->OnStore(Addr());
+    const bool changed = internal::Bits(value_) != internal::Bits(v);
+    value_ = v;
+    if (changed) {
+      m->NotifyValueChanged(Addr());
+    }
+    m->MaybeYield();
+  }
+
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
+    Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      T old = value_;
+      value_ = v;
+      return old;
+    }
+    m->OnRmw(Addr());
+    T old = value_;
+    const bool changed = internal::Bits(old) != internal::Bits(v);
+    value_ = v;
+    if (changed) {
+      m->NotifyValueChanged(Addr());
+    }
+    m->MaybeYield();
+    return old;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order = std::memory_order_seq_cst,
+                               std::memory_order = std::memory_order_seq_cst) {
+    Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      if (internal::Bits(value_) == internal::Bits(expected)) {
+        value_ = desired;
+        return true;
+      }
+      expected = value_;
+      return false;
+    }
+    m->OnRmw(Addr());
+    if (internal::Bits(value_) == internal::Bits(expected)) {
+      const bool changed = internal::Bits(value_) != internal::Bits(desired);
+      value_ = desired;
+      if (changed) {
+        m->NotifyValueChanged(Addr());
+      }
+      m->MaybeYield();
+      return true;
+    }
+    expected = value_;
+    m->MaybeYield();
+    return false;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst) {
+    return RmwApply([delta](T v) { return static_cast<T>(v + delta); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_sub(T delta, std::memory_order = std::memory_order_seq_cst) {
+    return RmwApply([delta](T v) { return static_cast<T>(v - delta); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_or(T bits, std::memory_order = std::memory_order_seq_cst) {
+    return RmwApply([bits](T v) { return static_cast<T>(v | bits); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_and(T bits, std::memory_order = std::memory_order_seq_cst) {
+    return RmwApply([bits](T v) { return static_cast<T>(v & bits); });
+  }
+
+ private:
+  // The machine only mediates accesses made from inside a fiber; setup and
+  // teardown code touching the same objects goes straight to memory.
+  static Machine* ActiveMachine() {
+    Machine* m = Machine::Active();
+    return (m != nullptr && m->InFiber()) ? m : nullptr;
+  }
+
+  std::uintptr_t Addr() const { return reinterpret_cast<std::uintptr_t>(this); }
+
+  template <typename F>
+  T RmwApply(F f) {
+    Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      T old = value_;
+      value_ = f(old);
+      return old;
+    }
+    m->OnRmw(Addr());
+    T old = value_;
+    T next = f(old);
+    const bool changed = internal::Bits(old) != internal::Bits(next);
+    value_ = next;
+    if (changed) {
+      m->NotifyValueChanged(Addr());
+    }
+    m->MaybeYield();
+    return old;
+  }
+
+  T value_;
+};
+
+}  // namespace cna::sim
+
+#endif  // CNA_SIM_SIM_ATOMIC_H_

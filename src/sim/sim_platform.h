@@ -1,0 +1,78 @@
+// SimPlatform: binds the lock-algorithm templates to the NUMA machine
+// simulator.  Mirror of RealPlatform (src/platform/real_platform.h).
+#ifndef CNA_SIM_SIM_PLATFORM_H_
+#define CNA_SIM_SIM_PLATFORM_H_
+
+#include <cstdint>
+
+#include "sim/machine.h"
+#include "sim/sim_atomic.h"
+
+namespace cna {
+
+struct SimPlatform {
+  template <typename T>
+  using Atomic = sim::Atomic<T>;
+
+  static void Pause() {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->PauseHint();
+    }
+  }
+
+  static int CurrentSocket() {
+    if (sim::Machine* m = ActiveMachine()) {
+      return m->CurrentSocket();
+    }
+    return 0;
+  }
+
+  static std::uint64_t Random() {
+    if (sim::Machine* m = ActiveMachine()) {
+      return m->Random();
+    }
+    return 0x9e3779b97f4a7c15ull;  // deterministic fallback outside fibers
+  }
+
+  static std::uint64_t& TlsSlot() {
+    if (sim::Machine* m = ActiveMachine()) {
+      return m->TlsSlot();
+    }
+    static std::uint64_t fallback = 0;
+    return fallback;
+  }
+
+  static int CpuId() {
+    if (sim::Machine* m = ActiveMachine()) {
+      return m->CurrentCpu();
+    }
+    return 0;
+  }
+
+  // Application substrates report logical object touches here; the machine
+  // charges coherence traffic for them in region 0 ("application data").
+  // Each distinct object_id maps to a distinct line of the region, so two
+  // objects never false-share a modelled line.
+  static void OnDataAccess(std::uint64_t object_id, bool write) {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->AccessSharedRegion(/*region=*/0, /*first_line=*/object_id,
+                            /*count=*/1, write);
+    }
+  }
+
+  static void ExternalWork(std::uint64_t approx_ns) {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->AdvanceLocalWork(approx_ns);
+    }
+  }
+
+ private:
+  static sim::Machine* ActiveMachine() {
+    sim::Machine* m = sim::Machine::Active();
+    return (m != nullptr && m->InFiber()) ? m : nullptr;
+  }
+};
+
+}  // namespace cna
+
+#endif  // CNA_SIM_SIM_PLATFORM_H_

@@ -1,0 +1,205 @@
+// Tests for the AVL map substrate, including property-style parameterized
+// sweeps against std::map as the reference model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "apps/avl_map.h"
+#include "apps/kv_bench.h"
+#include "base/rng.h"
+#include "locks/cna.h"
+#include "platform/real_platform.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+
+namespace cna {
+namespace {
+
+using Map = apps::AvlMap<RealPlatform>;
+
+TEST(AvlMap, EmptyMap) {
+  Map m;
+  EXPECT_EQ(m.Size(), 0u);
+  EXPECT_EQ(m.Height(), 0);
+  EXPECT_FALSE(m.Lookup(1).has_value());
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_TRUE(m.CheckInvariants());
+}
+
+TEST(AvlMap, InsertLookupErase) {
+  Map m;
+  EXPECT_TRUE(m.Insert(5, 50));
+  EXPECT_TRUE(m.Insert(3, 30));
+  EXPECT_TRUE(m.Insert(7, 70));
+  EXPECT_FALSE(m.Insert(5, 55));  // overwrite, not insert
+  EXPECT_EQ(m.Size(), 3u);
+  EXPECT_EQ(m.Lookup(5), std::optional<std::int64_t>(55));
+  EXPECT_EQ(m.Lookup(3), std::optional<std::int64_t>(30));
+  EXPECT_TRUE(m.Erase(3));
+  EXPECT_FALSE(m.Erase(3));
+  EXPECT_EQ(m.Size(), 2u);
+  EXPECT_FALSE(m.Contains(3));
+  EXPECT_TRUE(m.CheckInvariants());
+}
+
+TEST(AvlMap, AscendingInsertionStaysBalanced) {
+  Map m;
+  constexpr int kN = 1024;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(m.Insert(i, i));
+  }
+  EXPECT_EQ(m.Size(), static_cast<std::size_t>(kN));
+  EXPECT_TRUE(m.CheckInvariants());
+  // AVL height bound: h <= 1.44 log2(n+2).
+  EXPECT_LE(m.Height(), static_cast<int>(1.45 * std::log2(kN + 2)) + 1);
+}
+
+TEST(AvlMap, DescendingAndZigzagInsertion) {
+  Map m;
+  for (int i = 512; i > 0; --i) {
+    ASSERT_TRUE(m.Insert(i, i));
+  }
+  for (int i = 513; i < 768; ++i) {
+    ASSERT_TRUE(m.Insert((i % 2 == 0) ? i : -i, i));
+  }
+  EXPECT_TRUE(m.CheckInvariants());
+}
+
+TEST(AvlMap, EraseWithTwoChildrenUsesSuccessor) {
+  Map m;
+  for (int k : {50, 30, 70, 20, 40, 60, 80}) {
+    m.Insert(k, k);
+  }
+  EXPECT_TRUE(m.Erase(50));  // root with two children
+  EXPECT_FALSE(m.Contains(50));
+  EXPECT_EQ(m.Size(), 6u);
+  EXPECT_TRUE(m.CheckInvariants());
+  for (int k : {30, 70, 20, 40, 60, 80}) {
+    EXPECT_TRUE(m.Contains(k));
+  }
+}
+
+// Property test: random operation streams must agree with std::map and keep
+// the AVL invariants, across seeds and key ranges.
+class AvlPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(AvlPropertyTest, AgreesWithReferenceModel) {
+  const auto [seed, key_range] = GetParam();
+  XorShift64 rng = XorShift64::FromSeed(seed);
+  Map m;
+  std::map<std::int64_t, std::int64_t> ref;
+  for (int step = 0; step < 4000; ++step) {
+    const auto key =
+        static_cast<std::int64_t>(rng.NextBelow(
+            static_cast<std::uint64_t>(key_range)));
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        const bool inserted = m.Insert(key, step);
+        EXPECT_EQ(inserted, ref.find(key) == ref.end());
+        ref[key] = step;
+        break;
+      }
+      case 1: {
+        const bool erased = m.Erase(key);
+        EXPECT_EQ(erased, ref.erase(key) == 1);
+        break;
+      }
+      default: {
+        const auto got = m.Lookup(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+    if (step % 512 == 0) {
+      ASSERT_TRUE(m.CheckInvariants()) << "seed " << seed << " step " << step;
+    }
+  }
+  EXPECT_EQ(m.Size(), ref.size());
+  EXPECT_TRUE(m.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedAndRangeSweep, AvlPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 17u, 1234u),
+                       ::testing::Values(16, 256, 4096)));
+
+TEST(AvlMap, ChargesDataTrafficOnSim) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 2);
+  sim::Machine m(cfg);
+  apps::AvlMap<SimPlatform> map;
+  m.Spawn([&] {
+    for (int i = 0; i < 64; ++i) {
+      map.Insert(i, i);
+    }
+    for (int i = 0; i < 64; ++i) {
+      (void)map.Lookup(i);
+    }
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_GT(st.loads, 64u);   // lookups walk paths
+  EXPECT_GT(st.stores, 64u);  // inserts + rebalancing writes
+}
+
+// ---------- KvBench (the paper's microbenchmark around the map) ----------
+
+TEST(KvBench, PrefillsRoughlyHalfTheRange) {
+  apps::KvBenchOptions o;
+  o.key_range = 2048;
+  apps::KvBench<RealPlatform, locks::CnaLock<RealPlatform>> bench(o);
+  const auto size = bench.map().Size();
+  EXPECT_GT(size, 800u);
+  EXPECT_LT(size, 1250u);
+  EXPECT_TRUE(bench.map().CheckInvariants());
+}
+
+TEST(KvBench, OpsKeepInvariantsAndStayInRange) {
+  apps::KvBenchOptions o;
+  o.key_range = 128;
+  o.update_pct = 50;
+  apps::KvBench<RealPlatform, locks::CnaLock<RealPlatform>> bench(o);
+  XorShift64 rng = XorShift64::FromSeed(5);
+  for (int i = 0; i < 2000; ++i) {
+    bench.Op(rng);
+  }
+  EXPECT_TRUE(bench.map().CheckInvariants());
+  EXPECT_LE(bench.map().Size(), 128u);
+}
+
+TEST(KvBench, ZeroUpdatePctNeverModifies) {
+  apps::KvBenchOptions o;
+  o.key_range = 64;
+  o.update_pct = 0;
+  apps::KvBench<RealPlatform, locks::CnaLock<RealPlatform>> bench(o);
+  const auto before = bench.map().Size();
+  XorShift64 rng = XorShift64::FromSeed(6);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(bench.Op(rng));
+  }
+  EXPECT_EQ(bench.map().Size(), before);
+}
+
+TEST(KvBench, DeterministicPrefillAcrossInstances) {
+  apps::KvBenchOptions o;
+  o.key_range = 512;
+  o.seed = 77;
+  apps::KvBench<RealPlatform, locks::CnaLock<RealPlatform>> a(o);
+  apps::KvBench<RealPlatform, locks::CnaLock<RealPlatform>> b(o);
+  EXPECT_EQ(a.map().Size(), b.map().Size());
+  for (int k = 0; k < 512; ++k) {
+    EXPECT_EQ(a.map().Contains(k), b.map().Contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace cna

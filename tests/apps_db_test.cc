@@ -1,0 +1,203 @@
+// Tests for the MiniLevelDb and MiniKyotoDb substrates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "apps/mini_kyoto.h"
+#include "apps/mini_leveldb.h"
+#include "base/rng.h"
+#include "locks/cna.h"
+#include "locks/mcs.h"
+#include "platform/real_platform.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+
+namespace cna {
+namespace {
+
+using RealCna = locks::CnaLock<RealPlatform>;
+
+apps::MiniLevelDbOptions SmallDb(std::uint64_t keys) {
+  apps::MiniLevelDbOptions o;
+  o.prefill_keys = keys;
+  o.cache_capacity_per_shard = 16;
+  return o;
+}
+
+TEST(MiniLevelDb, PrefilledGetsReturnExpectedValues) {
+  using Db = apps::MiniLevelDb<RealPlatform, RealCna>;
+  Db db(SmallDb(10'000));
+  for (std::uint64_t k : {0ull, 1ull, 999ull, 9'999ull}) {
+    const auto v = db.Get(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    EXPECT_EQ(*v, Db::MixValue(k));
+  }
+  EXPECT_FALSE(db.Get(10'000).has_value());
+  EXPECT_FALSE(db.Get(1ull << 40).has_value());
+}
+
+TEST(MiniLevelDb, EmptyDbAlwaysMisses) {
+  apps::MiniLevelDb<RealPlatform, RealCna> db(SmallDb(0));
+  XorShift64 rng = XorShift64::FromSeed(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(db.ReadRandomOp(rng).has_value());
+  }
+}
+
+TEST(MiniLevelDb, PutThenGetThroughMemtable) {
+  apps::MiniLevelDb<RealPlatform, RealCna> db(SmallDb(100));
+  db.Put(1ull << 30, 42);
+  const auto v = db.Get(1ull << 30);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42u);
+}
+
+TEST(MiniLevelDb, SnapshotRefsReturnToZero) {
+  apps::MiniLevelDb<RealPlatform, RealCna> db(SmallDb(1000));
+  XorShift64 rng = XorShift64::FromSeed(2);
+  for (int i = 0; i < 200; ++i) {
+    (void)db.ReadRandomOp(rng);
+  }
+  EXPECT_EQ(db.version_refs(), 0u);
+}
+
+TEST(MiniLevelDb, ReadRandomHitsEntireRange) {
+  apps::MiniLevelDb<RealPlatform, RealCna> db(SmallDb(64));
+  XorShift64 rng = XorShift64::FromSeed(3);
+  int hits = 0;
+  for (int i = 0; i < 300; ++i) {
+    hits += db.ReadRandomOp(rng).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 300);  // every key below prefill_keys exists
+}
+
+TEST(MiniLevelDb, WorksUnderConcurrentFibers) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  sim::Machine m(cfg);
+  using Db = apps::MiniLevelDb<SimPlatform, locks::CnaLock<SimPlatform>>;
+  Db db(SmallDb(5'000));
+  int misses = 0;
+  for (int t = 0; t < 8; ++t) {
+    m.Spawn([&, t] {
+      XorShift64 rng = XorShift64::FromSeed(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 100; ++i) {
+        misses += db.ReadRandomOp(rng).has_value() ? 0 : 1;
+      }
+    });
+  }
+  m.Run();
+  EXPECT_EQ(misses, 0);
+  EXPECT_EQ(db.version_refs(), 0u);
+  EXPECT_GT(m.TotalStats().remote_misses, 0u);  // refcount line ping-pong
+}
+
+// ---------- MiniKyotoDb ----------
+
+apps::MiniKyotoOptions SmallKyoto() {
+  apps::MiniKyotoOptions o;
+  o.key_range = 10'000;
+  o.buckets_log2 = 12;
+  return o;
+}
+
+TEST(MiniKyoto, SetGetRemove) {
+  apps::MiniKyotoDb<RealPlatform, RealCna> db(SmallKyoto());
+  EXPECT_TRUE(db.SetLocked(5, 500));
+  EXPECT_EQ(db.GetLocked(5), 500u);
+  EXPECT_TRUE(db.SetLocked(5, 501));  // overwrite
+  EXPECT_EQ(db.GetLocked(5), 501u);
+  EXPECT_TRUE(db.RemoveLocked(5));
+  EXPECT_FALSE(db.RemoveLocked(5));
+  EXPECT_EQ(db.GetLocked(5), 0u);
+}
+
+TEST(MiniKyoto, ProbeChainsHandleCollisions) {
+  apps::MiniKyotoDb<RealPlatform, RealCna> db(SmallKyoto());
+  // Insert many keys; verify all retrievable (within probe-chain capacity,
+  // collisions may overwrite -- count must be high but need not be perfect).
+  int retrievable = 0;
+  constexpr int kN = 2000;
+  for (int i = 1; i <= kN; ++i) {
+    db.SetLocked(static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i));
+  }
+  for (int i = 1; i <= kN; ++i) {
+    retrievable +=
+        db.GetLocked(static_cast<std::uint64_t>(i)) ==
+                static_cast<std::uint64_t>(i)
+            ? 1
+            : 0;
+  }
+  EXPECT_GT(retrievable, kN * 9 / 10);
+}
+
+TEST(MiniKyoto, WickedMixRunsAndMutates) {
+  apps::MiniKyotoDb<RealPlatform, RealCna> db(SmallKyoto());
+  XorShift64 rng = XorShift64::FromSeed(4);
+  int mutations = 0;
+  for (int i = 0; i < 2000; ++i) {
+    mutations += db.WickedOp(rng) ? 1 : 0;
+  }
+  // ~3/8 of ops are sets (always mutate) plus some removes.
+  EXPECT_GT(mutations, 2000 * 3 / 10);
+  EXPECT_LT(mutations, 2000 * 6 / 10);
+}
+
+TEST(MiniKyoto, WickedIsDeterministicPerSeed) {
+  auto run = [] {
+    apps::MiniKyotoDb<RealPlatform, RealCna> db(SmallKyoto());
+    XorShift64 rng = XorShift64::FromSeed(9);
+    int mutations = 0;
+    for (int i = 0; i < 500; ++i) {
+      mutations += db.WickedOp(rng) ? 1 : 0;
+    }
+    return mutations;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MiniKyoto, ConcurrentFibersKeepTableConsistent) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  sim::Machine m(cfg);
+  using Db = apps::MiniKyotoDb<SimPlatform, locks::McsLock<SimPlatform>>;
+  Db db(SmallKyoto());
+  for (int t = 0; t < 8; ++t) {
+    m.Spawn([&, t] {
+      XorShift64 rng = XorShift64::FromSeed(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < 150; ++i) {
+        db.WickedOp(rng);
+      }
+    });
+  }
+  m.Run();
+  // Post-condition: single-threaded ops still behave.
+  db.SetLocked(123456, 7);
+  EXPECT_EQ(db.GetLocked(123456), 7u);
+}
+
+
+TEST(MiniLevelDb, LruCacheRespectsCapacity) {
+  apps::MiniLevelDbOptions o;
+  o.prefill_keys = 100'000;
+  o.cache_capacity_per_shard = 8;
+  apps::MiniLevelDb<RealPlatform, RealCna> db(o);
+  XorShift64 rng = XorShift64::FromSeed(12);
+  // Touch far more keys than 16 shards x 8 slots can hold; eviction must
+  // keep the process bounded (validated by completing without growth
+  // assertions tripping inside the shard update).
+  for (int i = 0; i < 5'000; ++i) {
+    (void)db.ReadRandomOp(rng);
+  }
+  EXPECT_EQ(db.version_refs(), 0u);
+}
+
+TEST(MiniKyoto, GetOnEmptyAndRemoveOnMissing) {
+  apps::MiniKyotoDb<RealPlatform, RealCna> db(SmallKyoto());
+  EXPECT_EQ(db.GetLocked(42), 0u);
+  EXPECT_FALSE(db.RemoveLocked(42));
+}
+
+}  // namespace
+}  // namespace cna

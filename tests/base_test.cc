@@ -1,0 +1,161 @@
+// Unit tests for src/base: PRNGs, cache-line helpers, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "base/cacheline.h"
+#include "base/rng.h"
+#include "base/spin_hint.h"
+#include "base/stats.h"
+
+namespace cna {
+namespace {
+
+TEST(CacheLine, AlignmentIsSixtyFourBytes) {
+  EXPECT_EQ(kCacheLineSize, 64u);
+  CacheAligned<int> a;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a) % kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(CacheAligned<char>), kCacheLineSize);
+}
+
+TEST(CacheLine, AdjacentAlignedObjectsDoNotShareALine) {
+  CacheAligned<int> xs[2];
+  const auto l0 = reinterpret_cast<std::uintptr_t>(&xs[0]) / kCacheLineSize;
+  const auto l1 = reinterpret_cast<std::uintptr_t>(&xs[1]) / kCacheLineSize;
+  EXPECT_NE(l0, l1);
+}
+
+TEST(CacheLine, CacheLinesForRoundsUp) {
+  EXPECT_EQ(CacheLinesFor(0), 0u);
+  EXPECT_EQ(CacheLinesFor(1), 1u);
+  EXPECT_EQ(CacheLinesFor(64), 1u);
+  EXPECT_EQ(CacheLinesFor(65), 2u);
+  EXPECT_EQ(CacheLinesFor(128), 2u);
+}
+
+TEST(CacheLine, AccessorsWork) {
+  CacheAligned<std::pair<int, int>> p(1, 2);
+  EXPECT_EQ(p->first, 1);
+  EXPECT_EQ((*p).second, 2);
+}
+
+TEST(Rng, SplitMixProducesKnownGoodStream) {
+  SplitMix64 a(1);
+  SplitMix64 b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, XorShiftIsDeterministicPerSeed) {
+  XorShift64 a = XorShift64::FromSeed(7);
+  XorShift64 b = XorShift64::FromSeed(7);
+  XorShift64 c = XorShift64::FromSeed(8);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    any_diff |= va != c.Next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, XorShiftNeverReturnsZeroStateCollapse) {
+  XorShift64 rng = XorShift64::FromSeed(0);  // zero seed must still work
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Next());
+  }
+  EXPECT_GT(seen.size(), 990u);  // no short cycles
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  XorShift64 rng = XorShift64::FromSeed(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  XorShift64 rng = XorShift64::FromSeed(5);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  XorShift64 rng = XorShift64::FromSeed(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SpinHint, IsCallable) {
+  for (int i = 0; i < 4; ++i) {
+    SpinHint();  // must not crash or stall
+  }
+  SUCCEED();
+}
+
+TEST(Stats, FairnessFactorPerfectlyFair) {
+  EXPECT_DOUBLE_EQ(FairnessFactor({100, 100, 100, 100}), 0.5);
+}
+
+TEST(Stats, FairnessFactorPerfectlyUnfair) {
+  // One thread does everything.
+  EXPECT_NEAR(FairnessFactor({1000, 0, 0, 0}), 1.0, 1e-9);
+}
+
+TEST(Stats, FairnessFactorMidway) {
+  // Top half does 3/4 of the work.
+  EXPECT_DOUBLE_EQ(FairnessFactor({300, 300, 100, 100}), 0.75);
+}
+
+TEST(Stats, FairnessFactorOddThreadCountRoundsHalfUp) {
+  // 3 threads: top 2 of 3 counted.
+  EXPECT_DOUBLE_EQ(FairnessFactor({100, 100, 100}), 2.0 / 3.0);
+}
+
+TEST(Stats, FairnessFactorDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FairnessFactor({}), 0.5);
+  EXPECT_DOUBLE_EQ(FairnessFactor({0, 0, 0}), 0.5);
+}
+
+TEST(Stats, FairnessFactorIsOrderInvariant) {
+  EXPECT_DOUBLE_EQ(FairnessFactor({1, 2, 3, 4}), FairnessFactor({4, 3, 2, 1}));
+}
+
+TEST(Stats, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(Stats, RelStdDevHandlesZeroMean) {
+  EXPECT_DOUBLE_EQ(RelStdDev({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(RelStdDev({9.0, 11.0}), std::sqrt(2.0) / 10.0, 1e-9);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.MeanOrZero(), 0.0);
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.count, 2u);
+  EXPECT_DOUBLE_EQ(acc.MeanOrZero(), 2.0);
+}
+
+}  // namespace
+}  // namespace cna

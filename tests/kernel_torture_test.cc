@@ -1,0 +1,152 @@
+// Tests for the locktorture reproduction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/locktorture.h"
+#include "platform/real_platform.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+
+namespace cna {
+namespace {
+
+using kernel::LockTorture;
+using kernel::LockTortureOptions;
+
+TEST(LockTorture, SingleFiberCompletes) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 2);
+  sim::Machine m(cfg);
+  LockTorture<SimPlatform, qspin::SlowPathKind::kMcs> torture(
+      LockTortureOptions{});
+  m.Spawn([&] {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      torture.WriterOp(i);
+    }
+  });
+  m.Run();
+  EXPECT_EQ(torture.lock().RawValue(), 0u);
+  EXPECT_GT(m.FinalTimeNs(), 0u);
+}
+
+TEST(LockTorture, ManyFibersBothSlowPaths) {
+  for (int use_cna = 0; use_cna < 2; ++use_cna) {
+    sim::MachineConfig cfg;
+    cfg.topology = numa::Topology::Uniform(2, 8);
+    sim::Machine m(cfg);
+    std::uint64_t total = 0;
+    auto body = [&m, &total](auto& torture) {
+      for (int t = 0; t < 12; ++t) {
+        m.Spawn([&torture, &total] {
+          for (std::uint64_t i = 0; i < 80; ++i) {
+            torture.WriterOp(i);
+            ++total;
+          }
+        });
+      }
+      m.Run();
+    };
+    if (use_cna) {
+      LockTorture<SimPlatform, qspin::SlowPathKind::kCna> torture(
+          LockTortureOptions{});
+      body(torture);
+      EXPECT_EQ(torture.lock().RawValue(), 0u);
+    } else {
+      LockTorture<SimPlatform, qspin::SlowPathKind::kMcs> torture(
+          LockTortureOptions{});
+      body(torture);
+      EXPECT_EQ(torture.lock().RawValue(), 0u);
+    }
+    EXPECT_EQ(total, 12u * 80u);
+  }
+}
+
+TEST(LockTorture, LockstatModeAddsSharedWrites) {
+  auto run = [](bool lockstat) {
+    sim::MachineConfig cfg;
+    cfg.topology = numa::Topology::Uniform(2, 4);
+    sim::Machine m(cfg);
+    LockTortureOptions o;
+    o.lockstat = lockstat;
+    o.lockstat_lines = 4;
+    LockTorture<SimPlatform, qspin::SlowPathKind::kMcs> torture(o);
+    for (int t = 0; t < 4; ++t) {
+      m.Spawn([&] {
+        for (std::uint64_t i = 0; i < 50; ++i) {
+          torture.WriterOp(i);
+        }
+      });
+    }
+    m.Run();
+    return m.TotalStats().stores;
+  };
+  const std::uint64_t without = run(false);
+  const std::uint64_t with = run(true);
+  // 4 threads x 50 ops x 4 stat lines of extra stores, minimum.
+  EXPECT_GE(with, without + 4 * 50 * 4);
+}
+
+TEST(LockTorture, LongDelayPeriodTriggersLongHolds) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 2);
+  sim::Machine m(cfg);
+  LockTortureOptions o;
+  o.short_delay_ns = 10;
+  o.long_delay_ns = 100'000;
+  o.long_delay_period = 10;
+  LockTorture<SimPlatform, qspin::SlowPathKind::kMcs> torture(o);
+  m.Spawn([&] {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      torture.WriterOp(i);
+    }
+  });
+  m.Run();
+  // 20 ops include 2 long delays: the makespan must reflect them.
+  EXPECT_GE(m.FinalTimeNs(), 200'000u);
+}
+
+TEST(LockTorture, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::MachineConfig cfg;
+    cfg.topology = numa::Topology::Uniform(2, 4);
+    cfg.seed = 99;
+    sim::Machine m(cfg);
+    LockTorture<SimPlatform, qspin::SlowPathKind::kCna> torture(
+        LockTortureOptions{});
+    for (int t = 0; t < 6; ++t) {
+      m.Spawn([&] {
+        for (std::uint64_t i = 0; i < 60; ++i) {
+          torture.WriterOp(i);
+        }
+      });
+    }
+    m.Run();
+    return m.FinalTimeNs();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LockTorture, WorksOnRealThreadsToo) {
+  LockTorture<RealPlatform, qspin::SlowPathKind::kCna> torture(
+      LockTortureOptions{});
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> ops{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 300; ++i) {
+        torture.WriterOp(i);
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(ops.load(), 900u);
+  EXPECT_EQ(torture.lock().RawValue(), 0u);
+}
+
+}  // namespace
+}  // namespace cna

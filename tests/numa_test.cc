@@ -1,0 +1,111 @@
+// Unit tests for src/numa and src/platform: topology maps and per-thread
+// socket context.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "numa/topology.h"
+#include "platform/real_platform.h"
+#include "platform/thread_context.h"
+
+namespace cna {
+namespace {
+
+TEST(Topology, UniformLayout) {
+  const auto t = numa::Topology::Uniform(2, 4);
+  EXPECT_EQ(t.NumSockets(), 2);
+  EXPECT_EQ(t.NumCpus(), 8);
+  EXPECT_EQ(t.SocketOfCpu(0), 0);
+  EXPECT_EQ(t.SocketOfCpu(3), 0);
+  EXPECT_EQ(t.SocketOfCpu(4), 1);
+  EXPECT_EQ(t.SocketOfCpu(7), 1);
+}
+
+TEST(Topology, PaperMachines) {
+  EXPECT_EQ(numa::Topology::PaperTwoSocket().NumCpus(), 72);
+  EXPECT_EQ(numa::Topology::PaperTwoSocket().NumSockets(), 2);
+  EXPECT_EQ(numa::Topology::PaperFourSocket().NumCpus(), 144);
+  EXPECT_EQ(numa::Topology::PaperFourSocket().NumSockets(), 4);
+}
+
+TEST(Topology, FromMapArbitraryAssignment) {
+  const auto t = numa::Topology::FromMap({0, 1, 0, 1, 2});
+  EXPECT_EQ(t.NumSockets(), 3);
+  EXPECT_EQ(t.NumCpus(), 5);
+  EXPECT_EQ(t.SocketOfCpu(4), 2);
+  EXPECT_EQ(t.CpusOfSocket(1), (std::vector<int>{1, 3}));
+}
+
+TEST(Topology, RejectsBadInputs) {
+  EXPECT_THROW(numa::Topology::Uniform(0, 4), std::invalid_argument);
+  EXPECT_THROW(numa::Topology::Uniform(2, -1), std::invalid_argument);
+  EXPECT_THROW(numa::Topology::FromMap({}), std::invalid_argument);
+  EXPECT_THROW(numa::Topology::FromMap({0, -2}), std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangeCpuFallsBackToSocketZero) {
+  const auto t = numa::Topology::Uniform(2, 2);
+  EXPECT_EQ(t.SocketOfCpu(-1), 0);
+  EXPECT_EQ(t.SocketOfCpu(99), 0);
+}
+
+TEST(Topology, DetectRealTopologyIsSane) {
+  const auto t = numa::DetectRealTopology();
+  EXPECT_GE(t.NumSockets(), 1);
+  EXPECT_GE(t.NumCpus(), 1);
+  const int s = numa::CurrentSocketFromOs(t);
+  EXPECT_GE(s, 0);
+  EXPECT_LT(s, t.NumSockets());
+}
+
+TEST(ThreadContext, VirtualSocketOverridesOs) {
+  auto& ctx = platform::ThreadContext::Current();
+  ctx.SetVirtualSocket(3);
+  EXPECT_EQ(ctx.CurrentSocket(), 3);
+  EXPECT_EQ(RealPlatform::CurrentSocket(), 3);
+  ctx.SetVirtualSocket(platform::ThreadContext::kAutoSocket);
+  EXPECT_GE(ctx.CurrentSocket(), 0);
+}
+
+TEST(ThreadContext, ThreadIdsAreDistinct) {
+  const int my_id = platform::ThreadContext::Current().ThreadId();
+  int other_id = -1;
+  std::thread t([&] {
+    other_id = platform::ThreadContext::Current().ThreadId();
+  });
+  t.join();
+  EXPECT_NE(my_id, other_id);
+  EXPECT_GT(platform::MaxThreadId(), std::max(my_id, other_id));
+}
+
+TEST(ThreadContext, RandomStreamsDifferAcrossThreads) {
+  const std::uint64_t mine = platform::ThreadContext::Current().Random();
+  std::uint64_t theirs = 0;
+  std::thread t([&] {
+    theirs = platform::ThreadContext::Current().Random();
+  });
+  t.join();
+  EXPECT_NE(mine, theirs);
+}
+
+TEST(ThreadContext, TlsSlotPersistsAcrossCalls) {
+  platform::ThreadContext::Current().TlsSlot() = 123;
+  EXPECT_EQ(RealPlatform::TlsSlot(), 123u);
+  RealPlatform::TlsSlot() = 7;
+  EXPECT_EQ(platform::ThreadContext::Current().TlsSlot(), 7u);
+  platform::ThreadContext::Current().TlsSlot() = 0;
+}
+
+TEST(RealPlatform, ExternalWorkRuns) {
+  RealPlatform::ExternalWork(1000);  // must simply not hang
+  SUCCEED();
+}
+
+TEST(RealPlatform, DataAccessHookIsNoOp) {
+  RealPlatform::OnDataAccess(42, true);  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cna

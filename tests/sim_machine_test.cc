@@ -1,0 +1,457 @@
+// Tests for the NUMA machine simulator: coherence-cost model, deterministic
+// scheduling, spin parking, shared regions, and the SimPlatform bindings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/sim_atomic.h"
+#include "sim/sim_platform.h"
+
+namespace cna {
+namespace {
+
+sim::MachineConfig SmallTwoSocket() {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  return cfg;
+}
+
+TEST(Machine, RunsFibersToCompletion) {
+  sim::Machine m(SmallTwoSocket());
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    m.Spawn([&done] { ++done; });
+  }
+  m.Run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Machine, ScatterPlacementAlternatesSockets) {
+  sim::Machine m(SmallTwoSocket());
+  std::vector<int> sockets;
+  for (int i = 0; i < 4; ++i) {
+    m.Spawn([&m, &sockets] { sockets.push_back(m.CurrentSocket()); });
+  }
+  m.Run();
+  // Scatter: fibers 0..3 -> sockets 0,1,0,1.
+  EXPECT_EQ(sockets.size(), 4u);
+  int on0 = 0;
+  for (int s : sockets) {
+    on0 += s == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(on0, 2);
+}
+
+TEST(Machine, PackPlacementFillsSocketZeroFirst) {
+  auto cfg = SmallTwoSocket();
+  cfg.placement = sim::Placement::kPackSockets;
+  sim::Machine m(cfg);
+  std::vector<int> sockets;
+  for (int i = 0; i < 4; ++i) {
+    m.Spawn([&m, &sockets] { sockets.push_back(m.CurrentSocket()); });
+  }
+  m.Run();
+  for (int s : sockets) {
+    EXPECT_EQ(s, 0);
+  }
+}
+
+TEST(Machine, SpawnBeyondCapacityThrows) {
+  sim::Machine m(SmallTwoSocket());
+  for (int i = 0; i < 8; ++i) {
+    m.Spawn([] {});
+  }
+  EXPECT_THROW(m.Spawn([] {}), std::runtime_error);
+}
+
+TEST(Machine, LocalWorkAdvancesOnlyLocalClock) {
+  sim::Machine m(SmallTwoSocket());
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  m.Spawn([&] {
+    m.AdvanceLocalWork(1000);
+    t0 = m.NowNs();
+  });
+  m.Spawn([&] { t1 = m.NowNs(); });
+  m.Run();
+  EXPECT_GE(t0, 1000u);
+  EXPECT_EQ(t1, 0u);
+  EXPECT_GE(m.FinalTimeNs(), 1000u);
+}
+
+// --- Cost-model unit tests: drive one or two fibers through sim::Atomic and
+// check the classified hit/miss counts. ---
+
+TEST(CacheModel, ColdReadIsLocalMissThenHit) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> cell{0};
+  m.Spawn([&] {
+    (void)cell.load();
+    (void)cell.load();
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_EQ(st.loads, 2u);
+  EXPECT_EQ(st.local_misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.remote_misses, 0u);
+}
+
+TEST(CacheModel, CrossSocketWriteAfterReadIsRemoteMiss) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> cell{0};
+  // Fiber on socket 0 reads; fiber on socket 1 then writes -> invalidation.
+  m.SpawnOnCpu(0, [&] { (void)cell.load(); });
+  m.SpawnOnCpu(4, [&] {
+    m.AdvanceLocalWork(10'000);  // ensure the reader goes first
+    cell.store(1);
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_EQ(st.remote_misses, 1u);  // the store had to invalidate socket 0
+}
+
+TEST(CacheModel, SameSocketWriteAfterOwnWriteIsHit) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> cell{0};
+  m.SpawnOnCpu(0, [&] {
+    cell.store(1);
+    cell.store(2);
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_EQ(st.stores, 2u);
+  EXPECT_EQ(st.local_misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+}
+
+TEST(CacheModel, ReadSharedThenWriteInvalidates) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> cell{0};
+  // Both sockets read (line shared), then socket 0 writes (remote miss: must
+  // invalidate socket 1), then socket 1 reads again (remote miss).
+  m.SpawnOnCpu(0, [&] {
+    (void)cell.load();
+    m.AdvanceLocalWork(1000);
+    cell.store(1);
+  });
+  m.SpawnOnCpu(4, [&] {
+    (void)cell.load();
+    m.AdvanceLocalWork(5000);
+    (void)cell.load();
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_GE(st.remote_misses, 2u);
+}
+
+TEST(CacheModel, RmwCostsMoreThanLoad) {
+  auto cfg = SmallTwoSocket();
+  sim::Machine m(cfg);
+  sim::Atomic<std::uint64_t> cell{0};
+  std::uint64_t t_after_rmw = 0;
+  m.Spawn([&] {
+    cell.fetch_add(1);
+    t_after_rmw = m.NowNs();
+  });
+  m.Run();
+  EXPECT_EQ(t_after_rmw,
+            cfg.latency.local_miss_ns + cfg.latency.atomic_extra_ns);
+}
+
+TEST(CacheModel, AtomicOpsOutsideFibersArePlain) {
+  sim::Atomic<int> cell{5};
+  EXPECT_EQ(cell.load(), 5);
+  cell.store(6);
+  EXPECT_EQ(cell.exchange(7), 6);
+  int expected = 7;
+  EXPECT_TRUE(cell.compare_exchange_strong(expected, 8));
+  EXPECT_EQ(cell.fetch_add(2), 8);
+  EXPECT_EQ(cell.load(), 10);
+}
+
+TEST(CacheModel, CompareExchangeFailureUpdatesExpected) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<int> cell{3};
+  bool ok = true;
+  int expected = 99;
+  m.Spawn([&] { ok = cell.compare_exchange_strong(expected, 5); });
+  m.Run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(expected, 3);
+  EXPECT_EQ(cell.load(), 3);
+}
+
+TEST(CacheModel, FetchOps) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint32_t> cell{0b1100};
+  m.Spawn([&] {
+    EXPECT_EQ(cell.fetch_or(0b0011), 0b1100u);
+    EXPECT_EQ(cell.fetch_and(0b1010), 0b1111u);
+    EXPECT_EQ(cell.fetch_sub(0b0010), 0b1010u);
+  });
+  m.Run();
+  EXPECT_EQ(cell.load(), 0b1000u);
+}
+
+// --- Spin parking ---
+
+TEST(SpinPark, SpinnerSleepsUntilValueChanges) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> flag{0};
+  std::uint64_t waiter_done_at = 0;
+  m.SpawnOnCpu(0, [&] {
+    while (flag.load() == 0) {
+      m.PauseHint();
+    }
+    waiter_done_at = m.NowNs();
+  });
+  m.SpawnOnCpu(4, [&] {
+    m.AdvanceLocalWork(100'000);
+    flag.store(1);
+  });
+  m.Run();
+  EXPECT_GE(waiter_done_at, 100'000u);
+  EXPECT_GE(m.TotalStats().parks, 1u);
+  EXPECT_GE(m.TotalStats().wakeups, 1u);
+}
+
+TEST(SpinPark, NoDeadlockWhenValueArrivesBeforePark) {
+  // The value-compare in SpinParkIfUnchanged must prevent parking on a
+  // line whose awaited value is already present.
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> flag{0};
+  m.SpawnOnCpu(0, [&] {
+    m.AdvanceLocalWork(50'000);  // writer certainly done by now
+    while (flag.load() == 0) {
+      m.PauseHint();
+    }
+  });
+  m.SpawnOnCpu(4, [&] { flag.store(1); });
+  m.Run();
+  SUCCEED();
+}
+
+TEST(SpinPark, TrueDeadlockIsDetected) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> never_set{0};
+  m.Spawn([&] {
+    while (never_set.load() == 0) {
+      m.PauseHint();
+    }
+  });
+  EXPECT_THROW(m.Run(), std::logic_error);
+}
+
+TEST(SpinPark, WakeupPropagatesWriterClock) {
+  sim::Machine m(SmallTwoSocket());
+  sim::Atomic<std::uint64_t> flag{0};
+  std::uint64_t waiter_time = 0;
+  m.SpawnOnCpu(0, [&] {
+    while (flag.load() == 0) {
+      m.PauseHint();
+    }
+    waiter_time = m.NowNs();
+  });
+  m.SpawnOnCpu(4, [&] {
+    m.AdvanceLocalWork(777'000);
+    flag.store(1);
+  });
+  m.Run();
+  // The waiter cannot observe the write before the writer's clock.
+  EXPECT_GE(waiter_time, 777'000u);
+}
+
+// --- Determinism ---
+
+struct PingPongResult {
+  std::uint64_t final_time;
+  sim::CacheStats stats;
+};
+
+PingPongResult RunPingPong(std::uint64_t seed) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 2);
+  cfg.seed = seed;
+  sim::Machine m(cfg);
+  auto flag = std::make_unique<sim::Atomic<std::uint64_t>>(0);
+  for (int t = 0; t < 4; ++t) {
+    m.Spawn([&m, f = flag.get(), t] {
+      for (int i = 0; i < 200; ++i) {
+        f->fetch_add(1);
+        m.AdvanceLocalWork(static_cast<std::uint64_t>(m.Random() % 64) +
+                           static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  m.Run();
+  return {m.FinalTimeNs(), m.TotalStats()};
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  const auto a = RunPingPong(123);
+  const auto b = RunPingPong(123);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.stats.remote_misses, b.stats.remote_misses);
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+  EXPECT_EQ(a.stats.Accesses(), b.stats.Accesses());
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const auto a = RunPingPong(123);
+  const auto b = RunPingPong(321);
+  // The random local-work jitter differs, so timing must differ.
+  EXPECT_NE(a.final_time, b.final_time);
+}
+
+TEST(Determinism, PerFiberRandomStreamsAreStable) {
+  std::vector<std::uint64_t> first;
+  for (int round = 0; round < 2; ++round) {
+    sim::Machine m(SmallTwoSocket());
+    std::vector<std::uint64_t> draws;
+    for (int t = 0; t < 3; ++t) {
+      m.Spawn([&m, &draws] { draws.push_back(m.Random()); });
+    }
+    m.Run();
+    if (round == 0) {
+      first = draws;
+    } else {
+      EXPECT_EQ(first, draws);
+    }
+  }
+}
+
+// --- Shared regions ---
+
+TEST(SharedRegion, ChargesTrafficAndMigrates) {
+  sim::Machine m(SmallTwoSocket());
+  m.SpawnOnCpu(0, [&] { m.AccessSharedRegion(1, 0, 8, /*write=*/true); });
+  m.SpawnOnCpu(4, [&] {
+    m.AdvanceLocalWork(10'000);
+    m.AccessSharedRegion(1, 0, 8, /*write=*/false);
+  });
+  m.Run();
+  const auto st = m.TotalStats();
+  EXPECT_EQ(st.stores, 8u);
+  EXPECT_EQ(st.loads, 8u);
+  EXPECT_EQ(st.remote_misses, 8u);  // all 8 reads cross sockets
+}
+
+TEST(SharedRegion, DistinctRegionsDoNotAlias) {
+  sim::Machine m(SmallTwoSocket());
+  m.SpawnOnCpu(0, [&] {
+    m.AccessSharedRegion(1, 0, 1, true);
+    m.AccessSharedRegion(2, 0, 1, false);  // different region, same line no.
+  });
+  m.Run();
+  EXPECT_EQ(m.TotalStats().local_misses, 2u);  // both cold: no aliasing
+}
+
+// --- SimPlatform facade ---
+
+TEST(SimPlatform, BindsToActiveMachine) {
+  sim::Machine m(SmallTwoSocket());
+  int socket = -1;
+  int cpu = -1;
+  std::uint64_t r1 = 0;
+  std::uint64_t r2 = 0;
+  m.SpawnOnCpu(5, [&] {
+    socket = SimPlatform::CurrentSocket();
+    cpu = SimPlatform::CpuId();
+    r1 = SimPlatform::Random();
+    r2 = SimPlatform::Random();
+    SimPlatform::TlsSlot() = 9;
+    SimPlatform::OnDataAccess(1, true);
+    SimPlatform::ExternalWork(50);
+    SimPlatform::Pause();
+  });
+  m.Run();
+  EXPECT_EQ(socket, 1);  // cpu 5 of Uniform(2,4) is on socket 1
+  EXPECT_EQ(cpu, 5);
+  EXPECT_NE(r1, r2);
+  EXPECT_GT(m.TotalStats().stores, 0u);
+}
+
+TEST(SimPlatform, FallsBackOutsideFibers) {
+  EXPECT_EQ(SimPlatform::CurrentSocket(), 0);
+  EXPECT_EQ(SimPlatform::CpuId(), 0);
+  SimPlatform::Pause();
+  SimPlatform::ExternalWork(10);
+  SimPlatform::OnDataAccess(3, false);
+  (void)SimPlatform::Random();
+  SimPlatform::TlsSlot() = 1;
+  SUCCEED();
+}
+
+TEST(SimPlatform, TlsSlotIsPerFiber) {
+  sim::Machine m(SmallTwoSocket());
+  std::vector<std::uint64_t> values;
+  for (int t = 0; t < 3; ++t) {
+    m.Spawn([&values, t] {
+      SimPlatform::TlsSlot() = static_cast<std::uint64_t>(t) + 100;
+      values.push_back(SimPlatform::TlsSlot());
+    });
+  }
+  m.Run();
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{100, 101, 102}));
+}
+
+
+TEST(Machine, FourSocketRemoteCostExceedsTwoSocket) {
+  auto run = [](sim::MachineConfig cfg) {
+    sim::Machine m(cfg);
+    sim::Atomic<std::uint64_t> cell{0};
+    std::uint64_t cost = 0;
+    m.SpawnOnCpu(0, [&] { cell.store(1); });
+    const int remote_cpu = cfg.topology.NumCpus() - 1;  // last socket
+    m.SpawnOnCpu(remote_cpu, [&] {
+      sim::Machine::Active()->AdvanceLocalWork(10'000);
+      const std::uint64_t before = sim::Machine::Active()->NowNs();
+      (void)cell.load();
+      cost = sim::Machine::Active()->NowNs() - before;
+    });
+    m.Run();
+    return cost;
+  };
+  const auto two = run(sim::MachineConfig::TwoSocket());
+  const auto four = run(sim::MachineConfig::FourSocket());
+  EXPECT_GT(four, two);  // the paper's 4-socket remote hop costs more
+}
+
+TEST(Machine, SocketTransferCheaperThanRemote) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  sim::Machine m(cfg);
+  sim::Atomic<std::uint64_t> cell{0};
+  std::uint64_t same_socket_cost = 0;
+  std::uint64_t cross_socket_cost = 0;
+  m.SpawnOnCpu(0, [&] { cell.store(1); });
+  m.SpawnOnCpu(1, [&] {  // same socket as cpu 0
+    sim::Machine::Active()->AdvanceLocalWork(1'000);
+    const auto before = sim::Machine::Active()->NowNs();
+    (void)cell.load();
+    same_socket_cost = sim::Machine::Active()->NowNs() - before;
+  });
+  m.SpawnOnCpu(4, [&] {  // other socket
+    sim::Machine::Active()->AdvanceLocalWork(10'000);
+    const auto before = sim::Machine::Active()->NowNs();
+    (void)cell.load();
+    cross_socket_cost = sim::Machine::Active()->NowNs() - before;
+  });
+  m.Run();
+  EXPECT_EQ(same_socket_cost, cfg.latency.socket_transfer_ns);
+  EXPECT_EQ(cross_socket_cost, cfg.latency.remote_miss_ns);
+}
+
+TEST(Machine, RejectsOversizedTopology) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(4, 64);  // 256 > kMaxSimCpus
+  EXPECT_THROW(sim::Machine m(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cna
