@@ -1,0 +1,143 @@
+// Lock-table stripe sweep: compactness x locality on the simulated 2-socket
+// machine.
+//
+// The futex-style lock namespace (src/locktable/) is swept over stripe
+// counts {1, 16, 1024, 1M} for one-word lock kinds {mcs, cna, cna-opt}, all
+// serving the same sharded-KV workload (apps/sharded_kv.h).  Three tables
+// come out:
+//   * throughput (ops/us)      -- 1 stripe reproduces the global-lock regime
+//     where CNA's NUMA-awareness pays; 1M stripes approaches lock-per-object
+//     where every kind is uncontended and the lock *footprint* is what
+//     differs between designs;
+//   * remote-miss rate         -- the Figure 7 quantity, per configuration;
+//   * total lock-state bytes   -- the compactness claim: with one-word locks
+//     in the compact layout, the 1M-stripe namespace costs exactly 8 MiB
+//     (a cohort/HMCS namespace of the same size would be O(sockets) cache
+//     lines per stripe -- gigabytes).
+//
+// A final stats pass re-runs the 16-stripe CNA point with the per-stripe
+// occupancy/contention counters enabled (table_stats.h).
+//
+// Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sharded_kv.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace cna;
+using namespace cna::bench;
+
+constexpr std::uint64_t kMillion = 1ull << 20;  // "1M" stripes (2^20)
+
+const std::vector<std::size_t>& StripeCounts() {
+  static const std::vector<std::size_t> counts = {1, 16, 1024, kMillion};
+  return counts;
+}
+
+apps::ShardedKvOptions SweepOptions(std::size_t stripes) {
+  apps::ShardedKvOptions o;
+  o.key_range = 1 << 16;
+  o.lock_stripes = stripes;
+  o.get_pct = 60;
+  o.put_pct = 30;  // remaining 10%: two-key MultiGuard transfers
+  o.cs_compute_ns = 50;
+  return o;
+}
+
+template <typename L>
+harness::RunResult RunPoint(int threads, std::uint64_t window_ns,
+                            std::size_t stripes) {
+  auto kv = std::make_shared<apps::ShardedKv<SimPlatform, L>>(
+      SweepOptions(stripes));
+  return harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns, [kv](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0x10cc + static_cast<std::uint64_t>(t));
+        return [kv, rng]() mutable { kv->MixedOp(rng); };
+      });
+}
+
+template <typename L>
+std::size_t LockStateBytesFor(std::size_t stripes) {
+  // Geometry only -- no workload needed.
+  locktable::LockTable<SimPlatform, L> table({.stripes = stripes});
+  return table.LockStateBytes();
+}
+
+void StatsPass(int threads, std::uint64_t window_ns) {
+  // The per-stripe occupancy/contention counters, demonstrated on the
+  // 16-stripe CNA point (hot enough that contention is visible, small enough
+  // to print).  Stats mode probes with a try-lock first, so this pass is
+  // reported separately from the undisturbed throughput tables above.
+  auto opts = SweepOptions(16);
+  opts.collect_stats = true;
+  auto kv = std::make_shared<apps::ShardedKv<SimPlatform, Cna>>(opts);
+  (void)harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns, [kv](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0x57a7 + static_cast<std::uint64_t>(t));
+        return [kv, rng]() mutable { kv->MixedOp(rng); };
+      });
+  const auto s = kv->table().StatsSummary();
+  std::printf(
+      "\nPer-stripe stats, cna x 16 stripes, %d threads:\n"
+      "  acquisitions: %llu (%.1f%% contended, %llu via MultiGuard)\n"
+      "  occupancy: %zu/%zu stripes touched, hottest stripe %llu "
+      "acquisitions\n",
+      threads, static_cast<unsigned long long>(s.total_acquisitions),
+      100.0 * s.ContentionRate(),
+      static_cast<unsigned long long>(s.multi_key_acquisitions),
+      s.occupied_stripes, s.stripes,
+      static_cast<unsigned long long>(s.max_stripe_acquisitions));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t window = harness::BenchWindowNs(2'000'000);
+  // Ladder so CNA_BENCH_MAX_THREADS can clip the point (ClipThreads filters
+  // a list); the sweep itself runs at one thread count, the largest allowed.
+  const int threads = harness::ClipThreads({2, 4, 8, 16, 36}).back();
+
+  const std::vector<std::string> locks = {"MCS", "CNA", "CNA-opt"};
+  harness::SeriesTable throughput(
+      "Lock-table sweep: throughput (ops/us) vs stripes, sharded KV, " +
+          std::to_string(threads) + " threads, 2-socket",
+      "stripes", locks);
+  harness::SeriesTable remote(
+      "Lock-table sweep: remote-miss rate vs stripes", "stripes", locks);
+  harness::SeriesTable bytes(
+      "Lock-table sweep: total lock-state bytes vs stripes (compact layout)",
+      "stripes", locks);
+
+  for (std::size_t stripes : StripeCounts()) {
+    const auto mcs = RunPoint<Mcs>(threads, window, stripes);
+    const auto cna = RunPoint<Cna>(threads, window, stripes);
+    const auto opt = RunPoint<CnaOpt>(threads, window, stripes);
+    const auto x = static_cast<double>(stripes);
+    throughput.AddRow(x, {mcs.throughput_mops, cna.throughput_mops,
+                          opt.throughput_mops});
+    remote.AddRow(x, {mcs.remote_miss_rate, cna.remote_miss_rate,
+                      opt.remote_miss_rate});
+    bytes.AddRow(x, {static_cast<double>(LockStateBytesFor<Mcs>(stripes)),
+                     static_cast<double>(LockStateBytesFor<Cna>(stripes)),
+                     static_cast<double>(LockStateBytesFor<CnaOpt>(stripes))});
+  }
+  throughput.Emit();
+  remote.Emit();
+  bytes.Emit();
+
+  const std::size_t million_bytes = LockStateBytesFor<Cna>(kMillion);
+  std::printf(
+      "\n1M-stripe CNA table: %zu bytes of lock words (%.1f MiB; one word "
+      "per stripe -- the paper's compactness claim at namespace scale)\n",
+      million_bytes, static_cast<double>(million_bytes) / (1 << 20));
+
+  StatsPass(threads, window);
+  return 0;
+}

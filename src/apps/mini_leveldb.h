@@ -9,7 +9,8 @@
 //      database lock"                                 -> lock-free binary
 //      search over the pre-filled sorted table (real work, real data traffic)
 //   3. "but acquires locks protecting (sharded) LRU cache as it seeks to
-//      update the cache structure with the accessed key."  -> 16 shard locks
+//      update the cache structure with the accessed key."  -> shard locks
+//      striped through a locktable::LockTable (leveldb's default 16 ways)
 //   4. Releasing the snapshot re-acquires the global lock to drop the refs.
 //
 // Pre-filled DB (1M keys): long step 2 => moderate global-lock contention,
@@ -28,14 +29,17 @@
 #include "base/cacheline.h"
 #include "base/rng.h"
 #include "locks/lock_api.h"
+#include "locktable/lock_table.h"
 
 namespace cna::apps {
 
 struct MiniLevelDbOptions {
   // db_bench default: 1M key-value pairs.  0 reproduces the empty-DB run.
   std::uint64_t prefill_keys = 1'000'000;
-  // leveldb's LRU block cache is sharded 16 ways.
-  static constexpr int kShards = 16;
+  // leveldb's LRU block cache is sharded 16 ways by default; the shard locks
+  // live in a locktable::LockTable, so the count is a runtime knob (rounded
+  // up to a power of two).
+  std::size_t cache_shards = 16;
   std::size_t cache_capacity_per_shard = 4096;
   std::uint64_t seed = 7;
   // Instruction-execution cost of the global-lock critical section.
@@ -45,7 +49,14 @@ struct MiniLevelDbOptions {
 template <typename P, locks::Lockable L>
 class MiniLevelDb {
  public:
-  explicit MiniLevelDb(MiniLevelDbOptions options) : options_(options) {
+  explicit MiniLevelDb(MiniLevelDbOptions options)
+      : options_(options),
+        // Shard locks are table stripes padded to a line each: the cache
+        // shard array is small and hot, so the layout mirrors the
+        // CacheAligned shard structs the locks used to live in.
+        shard_locks_({.stripes = options.cache_shards,
+                      .padding = locktable::StripePadding::kCacheLine}),
+        shards_(shard_locks_.stripes()) {
     table_.reserve(options.prefill_keys);
     for (std::uint64_t i = 0; i < options.prefill_keys; ++i) {
       table_.push_back({i, MixValue(i)});
@@ -99,6 +110,7 @@ class MiniLevelDb {
 
   std::uint64_t version_refs() const { return version_refs_; }
   L& global_lock() { return global_lock_; }
+  locktable::LockTable<P, L>& cache_shard_locks() { return shard_locks_; }
 
   static std::uint64_t MixValue(std::uint64_t key) {
     return key * 0x9e3779b97f4a7c15ull;
@@ -139,11 +151,11 @@ class MiniLevelDb {
   }
 
   void TouchCache(std::uint64_t key) {
-    const std::size_t s =
-        static_cast<std::size_t>(key * 0x2545f4914f6cdd1dull >> 32) %
-        MiniLevelDbOptions::kShards;
+    // The lock table's hash picks the shard; data shards are indexed by the
+    // same stripe so a shard's lock and its LRU state stay 1:1.
+    typename locktable::LockTable<P, L>::Guard guard(shard_locks_, key);
+    const std::size_t s = guard.stripe();
     Shard& shard = *shards_[s];
-    locks::ScopedLock<L> guard(shard.lock);
     const std::uint64_t base = kShardId + (static_cast<std::uint64_t>(s) << 20);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
@@ -164,7 +176,6 @@ class MiniLevelDb {
   }
 
   struct Shard {
-    L lock;
     std::list<std::uint64_t> lru;
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         index;
@@ -172,10 +183,11 @@ class MiniLevelDb {
 
   MiniLevelDbOptions options_;
   L global_lock_;
+  locktable::LockTable<P, L> shard_locks_;
+  std::vector<CacheAligned<Shard>> shards_;  // indexed by lock-table stripe
   std::vector<std::pair<std::uint64_t, std::uint64_t>> table_;  // sorted
   std::unordered_map<std::uint64_t, std::uint64_t> memtable_;
   std::uint64_t version_refs_ = 0;  // guarded by global_lock_
-  CacheAligned<Shard> shards_[MiniLevelDbOptions::kShards];
 };
 
 }  // namespace cna::apps

@@ -1,0 +1,162 @@
+// ShardedKv: a key-value store whose lock namespace is a locktable::LockTable
+// -- the "millions of fine-grained locks" scenario the CNA paper's
+// compactness argument is for.
+//
+// Data model: a direct-mapped array of 64-bit "account" values (value 0 ==
+// absent), one slot per key in [0, key_range).  Every key is guarded by the
+// lock-table stripe it hashes to, so the granularity of locking is swept
+// independently of the data: 1 stripe reproduces the single-global-lock
+// regime of the paper's microbenchmarks, while key_range stripes approach
+// lock-per-object.  Distinct keys never share a slot, so the only
+// synchronization the store needs is the lock table itself -- which makes
+// this substrate the natural stress test for Guard/MultiGuard correctness
+// (lost updates and deadlocks show up immediately).
+//
+// Multi-key transactions (Transfer) take both keys through a MultiGuard:
+// stripes are acquired in ascending order, so concurrent transfers cannot
+// deadlock even on overlapping or stripe-colliding key pairs.
+#ifndef CNA_APPS_SHARDED_KV_H_
+#define CNA_APPS_SHARDED_KV_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.h"
+#include "locks/lock_api.h"
+#include "locktable/lock_table.h"
+
+namespace cna::apps {
+
+struct ShardedKvOptions {
+  // Size of the key namespace (and of the direct-mapped value array).
+  std::uint64_t key_range = 1 << 16;
+  // Lock-table geometry: the subject of the sweep.
+  std::size_t lock_stripes = 1024;
+  locktable::StripePadding padding = locktable::StripePadding::kCompact;
+  bool collect_stats = false;
+  // MixedOp distribution (percent): reads, single-key writes, and two-key
+  // transfers making up the remainder.
+  int get_pct = 70;
+  int put_pct = 20;  // remainder after get+put is Transfer
+  // Instruction-execution cost charged inside each critical section.
+  std::uint64_t cs_compute_ns = 50;
+};
+
+template <typename P, locks::Lockable L>
+class ShardedKv {
+ public:
+  using Table = locktable::LockTable<P, L>;
+
+  explicit ShardedKv(ShardedKvOptions options)
+      : options_(options),
+        table_({.stripes = options.lock_stripes,
+                .padding = options.padding,
+                .collect_stats = options.collect_stats}),
+        values_(options.key_range, 0) {}
+
+  ShardedKv(const ShardedKv&) = delete;
+  ShardedKv& operator=(const ShardedKv&) = delete;
+
+  // --- Single-key operations (one stripe each) ---
+
+  std::optional<std::uint64_t> Get(std::uint64_t key) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    const std::uint64_t v = LoadSlot(key, /*write=*/false);
+    if (v == 0) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  void Put(std::uint64_t key, std::uint64_t value) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    StoreSlot(key, value);
+  }
+
+  bool Erase(std::uint64_t key) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    const bool existed = LoadSlot(key, /*write=*/false) != 0;
+    StoreSlot(key, 0);
+    return existed;
+  }
+
+  // Read-modify-write under one stripe; used by the stress tests to detect
+  // lost updates (a non-atomic increment would drop counts under races).
+  void Add(std::uint64_t key, std::uint64_t delta) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    StoreSlot(key, LoadSlot(key, /*write=*/false) + delta);
+  }
+
+  // --- Multi-key transaction ---
+
+  // Moves up to `amount` from `from` to `to` atomically; both slots are
+  // locked through one MultiGuard.  Returns the amount actually moved.
+  // Conserves the total of the two slots, which is the invariant the stress
+  // tests check.
+  std::uint64_t Transfer(std::uint64_t from, std::uint64_t to,
+                         std::uint64_t amount) {
+    if (from == to) {
+      return 0;
+    }
+    typename Table::MultiGuard guard(table_, {from, to});
+    P::ExternalWork(options_.cs_compute_ns);
+    const std::uint64_t available = LoadSlot(from, /*write=*/false);
+    const std::uint64_t moved = amount < available ? amount : available;
+    StoreSlot(from, available - moved);
+    StoreSlot(to, LoadSlot(to, /*write=*/false) + moved);
+    return moved;
+  }
+
+  // --- Benchmark driver ---
+
+  void MixedOp(XorShift64& rng) {
+    const std::uint64_t key = rng.NextBelow(options_.key_range);
+    const int roll = static_cast<int>(rng.NextBelow(100));
+    if (roll < options_.get_pct) {
+      (void)Get(key);
+    } else if (roll < options_.get_pct + options_.put_pct) {
+      Put(key, key + 1);
+    } else {
+      Transfer(key, rng.NextBelow(options_.key_range), 1 + rng.NextBelow(8));
+    }
+  }
+
+  // Unsynchronized sum over all slots; call only when no worker is running.
+  std::uint64_t TotalValue() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  Table& table() { return table_; }
+  const ShardedKvOptions& options() const { return options_; }
+
+ private:
+  // 8 slots per modelled cache line, like a real packed value array.
+  static constexpr std::uint64_t kValueRegionBase = 1ull << 35;
+
+  std::uint64_t LoadSlot(std::uint64_t key, bool write) {
+    P::OnDataAccess(kValueRegionBase + key / 8, write);
+    return values_[key];
+  }
+
+  void StoreSlot(std::uint64_t key, std::uint64_t v) {
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/true);
+    values_[key] = v;
+  }
+
+  ShardedKvOptions options_;
+  Table table_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace cna::apps
+
+#endif  // CNA_APPS_SHARDED_KV_H_

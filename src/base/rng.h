@@ -20,11 +20,16 @@ class SplitMix64 {
  public:
   explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  constexpr std::uint64_t Next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  // The stream's finalizer, exposed on its own: a full-avalanche 64-bit
+  // mixer, also used as the key hash of the lock-table namespace.
+  static constexpr std::uint64_t Mix(std::uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t Next() {
+    return Mix(state_ += 0x9e3779b97f4a7c15ull);
   }
 
  private:

@@ -1,14 +1,52 @@
 #include "core/pthread_api.h"
 
 #include <cerrno>
+#include <memory>
 #include <new>
+#include <stdexcept>
+#include <utility>
 
+#include "core/any_lock_table.h"
 #include "core/registry.h"
+#include "locktable/lock_table.h"
+#include "platform/real_platform.h"
 
 struct cna_mutex {
   explicit cna_mutex(cna::core::LockKind kind) : impl(kind) {}
   cna::core::Mutex impl;
 };
+
+struct cna_locktable {
+  cna_locktable(cna::core::LockKind kind, size_t stripes)
+      : impl(cna::core::MakeLockTable<cna::RealPlatform>(
+            kind, cna::locktable::LockTableOptions{.stripes = stripes})) {}
+  std::unique_ptr<cna::core::AnyLockTable> impl;
+};
+
+namespace {
+
+// No C++ exception may cross the extern "C" boundary.  Every lock/unlock
+// entry point runs through this barrier, mapping to pthread-style errno
+// codes: unlock-without-lock (logic_error) -> EPERM, oversized requests
+// (length_error -- caught first, it derives from logic_error) -> EINVAL,
+// allocation failure (handle pools, multi-key scratch space) -> ENOMEM,
+// anything else -> EINVAL.
+template <typename F>
+int GuardedCall(F&& f) {
+  try {
+    return std::forward<F>(f)();
+  } catch (const std::length_error&) {
+    return EINVAL;
+  } catch (const std::logic_error&) {
+    return EPERM;
+  } catch (const std::bad_alloc&) {
+    return ENOMEM;
+  } catch (...) {
+    return EINVAL;
+  }
+}
+
+}  // namespace
 
 extern "C" {
 
@@ -20,11 +58,19 @@ cna_mutex_t* cna_mutex_create(const char* lock_name) {
   if (!kind.has_value()) {
     return nullptr;
   }
-  return new (std::nothrow) cna_mutex(*kind);
+  try {
+    return new (std::nothrow) cna_mutex(*kind);
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 cna_mutex_t* cna_mutex_create_default(void) {
-  return new (std::nothrow) cna_mutex(cna::core::LockKind::kCna);
+  try {
+    return new (std::nothrow) cna_mutex(cna::core::LockKind::kCna);
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 void cna_mutex_destroy(cna_mutex_t* mutex) { delete mutex; }
@@ -33,27 +79,123 @@ int cna_mutex_lock(cna_mutex_t* mutex) {
   if (mutex == nullptr) {
     return EINVAL;
   }
-  mutex->impl.lock();
-  return 0;
+  return GuardedCall([&] {
+    mutex->impl.lock();
+    return 0;
+  });
 }
 
 int cna_mutex_trylock(cna_mutex_t* mutex) {
   if (mutex == nullptr) {
     return EINVAL;
   }
-  return mutex->impl.try_lock() ? 0 : EBUSY;
+  return GuardedCall([&] { return mutex->impl.try_lock() ? 0 : EBUSY; });
 }
 
 int cna_mutex_unlock(cna_mutex_t* mutex) {
   if (mutex == nullptr) {
     return EINVAL;
   }
-  mutex->impl.unlock();
-  return 0;
+  return GuardedCall([&] {
+    mutex->impl.unlock();
+    return 0;
+  });
 }
 
 size_t cna_mutex_state_bytes(const cna_mutex_t* mutex) {
   return mutex == nullptr ? 0 : mutex->impl.state_bytes();
+}
+
+cna_locktable_t* cna_locktable_create(const char* lock_name, size_t stripes) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  // The constructor allocates the stripe array; bad_alloc/length_error (e.g.
+  // an absurd stripe count) must surface as nullptr, not cross extern "C".
+  try {
+    return new (std::nothrow) cna_locktable(*kind, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_locktable_t* cna_locktable_create_default(size_t stripes) {
+  try {
+    return new (std::nothrow)
+        cna_locktable(cna::core::LockKind::kCna, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_locktable_destroy(cna_locktable_t* table) { delete table; }
+
+int cna_locktable_lock(cna_locktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->Lock(key);
+    return 0;
+  });
+}
+
+int cna_locktable_trylock(cna_locktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] { return table->impl->TryLock(key) ? 0 : EBUSY; });
+}
+
+int cna_locktable_unlock(cna_locktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  // EPERM when this thread does not hold the key's stripe.
+  return GuardedCall([&] {
+    table->impl->Unlock(key);
+    return 0;
+  });
+}
+
+int cna_locktable_lock_many(cna_locktable_t* table, const uint64_t* keys,
+                            size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->LockMany(keys, count);
+    return 0;
+  });
+}
+
+int cna_locktable_unlock_many(cna_locktable_t* table, const uint64_t* keys,
+                              size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  // EPERM when some stripe in the set is not held by this thread; the checked
+  // release verifies the whole set first, so nothing is half-released.
+  return GuardedCall([&] {
+    table->impl->UnlockMany(keys, count);
+    return 0;
+  });
+}
+
+size_t cna_locktable_stripes(const cna_locktable_t* table) {
+  return table == nullptr ? 0 : table->impl->Stripes();
+}
+
+size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key) {
+  return table == nullptr ? 0 : table->impl->StripeOf(key);
+}
+
+size_t cna_locktable_state_bytes(const cna_locktable_t* table) {
+  return table == nullptr ? 0 : table->impl->LockStateBytes();
 }
 
 }  // extern "C"

@@ -9,6 +9,7 @@
 #define CNA_CORE_PTHREAD_API_H_
 
 #include <cstddef>
+#include <cstdint>
 
 extern "C" {
 
@@ -27,10 +28,54 @@ void cna_mutex_destroy(cna_mutex_t* mutex);
 int cna_mutex_lock(cna_mutex_t* mutex);
 // Returns 0 on success, EBUSY if the lock is held or try-lock is unsupported.
 int cna_mutex_trylock(cna_mutex_t* mutex);
+// Returns 0 on success, EPERM on unlock without a matching lock.
 int cna_mutex_unlock(cna_mutex_t* mutex);
 
 // sizeof of the shared lock state backing this mutex (CNA: one word).
 size_t cna_mutex_state_bytes(const cna_mutex_t* mutex);
+
+// ---------------------------------------------------------------------------
+// Sharded lock table (src/locktable/): a futex-style dynamic lock namespace.
+// Arbitrary 64-bit keys hash onto `stripes` one-word locks (rounded up to a
+// power of two); keys on the same stripe serialize, keys on different stripes
+// run in parallel.  Lock/unlock calls must balance per thread.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_locktable cna_locktable_t;
+
+// Creates a lock table of `stripes` locks of the named kind ("cna", "mcs",
+// ...).  Returns nullptr if the name is unknown.
+cna_locktable_t* cna_locktable_create(const char* lock_name, size_t stripes);
+
+// Creates a lock table backed by the default lock (CNA).
+cna_locktable_t* cna_locktable_create_default(size_t stripes);
+
+void cna_locktable_destroy(cna_locktable_t* table);
+
+// Return 0 on success (pthread convention).
+int cna_locktable_lock(cna_locktable_t* table, uint64_t key);
+// Returns 0 on success, EBUSY if the stripe is held or try-lock is
+// unsupported by the underlying lock.
+int cna_locktable_trylock(cna_locktable_t* table, uint64_t key);
+// Returns 0 on success, EPERM if the calling thread does not hold the key's
+// stripe.
+int cna_locktable_unlock(cna_locktable_t* table, uint64_t key);
+
+// Multi-key transactions: locks the distinct stripes of keys[0..count) in a
+// globally consistent (ascending-stripe) order, so concurrent multi-key
+// callers cannot deadlock.  Pass the same key set to unlock.
+int cna_locktable_lock_many(cna_locktable_t* table, const uint64_t* keys,
+                            size_t count);
+int cna_locktable_unlock_many(cna_locktable_t* table, const uint64_t* keys,
+                              size_t count);
+
+// Number of stripes (power of two), and the stripe a key hashes to.
+size_t cna_locktable_stripes(const cna_locktable_t* table);
+size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key);
+
+// Total bytes of shared lock state backing the namespace (CNA: one word per
+// stripe -- a million-stripe table is 8 MiB).
+size_t cna_locktable_state_bytes(const cna_locktable_t* table);
 
 }  // extern "C"
 

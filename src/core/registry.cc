@@ -127,4 +127,19 @@ Mutex::Mutex(std::string_view name) {
   impl_ = MakeLock<RealPlatform>(*kind);
 }
 
+ShardedMutex::ShardedMutex(LockKind kind, std::size_t stripes)
+    : impl_(MakeLockTable<RealPlatform>(
+          kind, locktable::LockTableOptions{.stripes = stripes})) {}
+
+ShardedMutex::ShardedMutex(std::string_view name, std::size_t stripes) {
+  auto kind = LockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument(
+        "cna::core::ShardedMutex: unknown lock name \"" + std::string(name) +
+        "\"");
+  }
+  impl_ = MakeLockTable<RealPlatform>(
+      *kind, locktable::LockTableOptions{.stripes = stripes});
+}
+
 }  // namespace cna::core

@@ -10,9 +10,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "core/any_lock.h"
+#include "core/any_lock_table.h"
 #include "locks/clh.h"
 #include "locks/cna.h"
 #include "locks/cohort.h"
@@ -59,58 +61,85 @@ std::optional<LockKind> LockKindFromName(std::string_view name);
 // Whether the lock keeps ownership preferentially within a socket.
 bool IsNumaAware(LockKind kind);
 
+// Invokes `f` with std::type_identity<L>{} where L is the lock class
+// implementing `kind` over platform P.  Single point of truth for the
+// kind -> type mapping; MakeLock and MakeLockTable are both built on it, so a
+// new lock kind added here is automatically constructible as a plain mutex
+// and as a sharded lock table.  `f` must return the same type for every lock
+// class (typically a type-erased unique_ptr).
+template <typename P, typename F>
+decltype(auto) WithLockType(LockKind kind, F&& f) {
+  using namespace cna::locks;  // NOLINT(build/namespaces)
+  switch (kind) {
+    case LockKind::kMcs:
+      return f(std::type_identity<McsLock<P>>{});
+    case LockKind::kCna:
+      return f(std::type_identity<CnaLock<P>>{});
+    case LockKind::kCnaOpt:
+      return f(std::type_identity<CnaLock<P, CnaShuffleReductionConfig>>{});
+    case LockKind::kCnaTagged:
+      return f(std::type_identity<CnaLock<P, CnaSocketInNextConfig>>{});
+    case LockKind::kTas:
+      return f(std::type_identity<TasLock<P>>{});
+    case LockKind::kTtas:
+      return f(std::type_identity<TtasLock<P>>{});
+    case LockKind::kBackoffTas:
+      return f(std::type_identity<BackoffTasLock<P>>{});
+    case LockKind::kTicket:
+      return f(std::type_identity<TicketLock<P>>{});
+    case LockKind::kPartitionedTicket:
+      return f(std::type_identity<PartitionedTicketLock<P>>{});
+    case LockKind::kClh:
+      return f(std::type_identity<ClhLock<P>>{});
+    case LockKind::kHbo:
+      return f(std::type_identity<HboLock<P>>{});
+    case LockKind::kCBoMcs:
+      return f(std::type_identity<CBoMcsLock<P>>{});
+    case LockKind::kCTktTkt:
+      return f(std::type_identity<CTktTktLock<P>>{});
+    case LockKind::kCPtlTkt:
+      return f(std::type_identity<CPtlTktLock<P>>{});
+    case LockKind::kHmcs:
+      return f(std::type_identity<HmcsLock<P>>{});
+    case LockKind::kCst:
+      return f(std::type_identity<CstLock<P>>{});
+    case LockKind::kMcscr:
+      return f(std::type_identity<McscrLock<P>>{});
+    case LockKind::kQspinMcs:
+      return f(
+          std::type_identity<qspin::QSpinLock<P, qspin::SlowPathKind::kMcs>>{});
+    case LockKind::kQspinCna:
+      return f(
+          std::type_identity<qspin::QSpinLock<P, qspin::SlowPathKind::kCna>>{});
+  }
+  throw std::invalid_argument("WithLockType: unknown LockKind");
+}
+
 // Builds a type-erased lock of `kind` over platform P.
 template <typename P>
 std::unique_ptr<AnyLock> MakeLock(LockKind kind) {
-  using namespace cna::locks;  // NOLINT(build/namespaces)
-  const std::string name(LockKindName(kind));
-  switch (kind) {
-    case LockKind::kMcs:
-      return std::make_unique<LockAdapter<P, McsLock<P>>>(name);
-    case LockKind::kCna:
-      return std::make_unique<LockAdapter<P, CnaLock<P>>>(name);
-    case LockKind::kCnaOpt:
-      return std::make_unique<
-          LockAdapter<P, CnaLock<P, CnaShuffleReductionConfig>>>(name);
-    case LockKind::kCnaTagged:
-      return std::make_unique<
-          LockAdapter<P, CnaLock<P, CnaSocketInNextConfig>>>(name);
-    case LockKind::kTas:
-      return std::make_unique<LockAdapter<P, TasLock<P>>>(name);
-    case LockKind::kTtas:
-      return std::make_unique<LockAdapter<P, TtasLock<P>>>(name);
-    case LockKind::kBackoffTas:
-      return std::make_unique<LockAdapter<P, BackoffTasLock<P>>>(name);
-    case LockKind::kTicket:
-      return std::make_unique<LockAdapter<P, TicketLock<P>>>(name);
-    case LockKind::kPartitionedTicket:
-      return std::make_unique<LockAdapter<P, PartitionedTicketLock<P>>>(name);
-    case LockKind::kClh:
-      return std::make_unique<LockAdapter<P, ClhLock<P>>>(name);
-    case LockKind::kHbo:
-      return std::make_unique<LockAdapter<P, HboLock<P>>>(name);
-    case LockKind::kCBoMcs:
-      return std::make_unique<LockAdapter<P, CBoMcsLock<P>>>(name);
-    case LockKind::kCTktTkt:
-      return std::make_unique<LockAdapter<P, CTktTktLock<P>>>(name);
-    case LockKind::kCPtlTkt:
-      return std::make_unique<LockAdapter<P, CPtlTktLock<P>>>(name);
-    case LockKind::kHmcs:
-      return std::make_unique<LockAdapter<P, HmcsLock<P>>>(name);
-    case LockKind::kCst:
-      return std::make_unique<LockAdapter<P, CstLock<P>>>(name);
-    case LockKind::kMcscr:
-      return std::make_unique<LockAdapter<P, McscrLock<P>>>(name);
-    case LockKind::kQspinMcs:
-      return std::make_unique<
-          LockAdapter<P, qspin::QSpinLock<P, qspin::SlowPathKind::kMcs>>>(
-          name);
-    case LockKind::kQspinCna:
-      return std::make_unique<
-          LockAdapter<P, qspin::QSpinLock<P, qspin::SlowPathKind::kCna>>>(
-          name);
-  }
-  throw std::invalid_argument("MakeLock: unknown LockKind");
+  return WithLockType<P>(
+      kind,
+      [name = std::string(LockKindName(kind))]<typename L>(
+          std::type_identity<L>) -> std::unique_ptr<AnyLock> {
+        return std::make_unique<LockAdapter<P, L>>(name);
+      });
+}
+
+// Builds a type-erased sharded lock table of `kind` over platform P: the
+// keyed, futex-style counterpart of MakeLock (src/locktable/).  Any lock kind
+// works, but the point of the table is that one-word kinds (cna, mcs,
+// qspin-*) keep the whole namespace compact -- compare PerStripeStateBytes()
+// across kinds.
+template <typename P>
+std::unique_ptr<AnyLockTable> MakeLockTable(
+    LockKind kind, const locktable::LockTableOptions& options) {
+  return WithLockType<P>(
+      kind,
+      [&options, name = std::string(LockKindName(kind))]<typename L>(
+          std::type_identity<L>) -> std::unique_ptr<AnyLockTable> {
+        return std::make_unique<LockTableAdapter<P, L>>(name, options);
+      });
 }
 
 // User-facing mutex over the real platform.  Satisfies the C++ Lockable
@@ -129,6 +158,37 @@ class Mutex {
 
  private:
   std::unique_ptr<AnyLock> impl_;
+};
+
+// User-facing sharded lock namespace over the real platform: the keyed
+// counterpart of Mutex.  lock(key)/unlock(key) serialize all keys that hash
+// to the same stripe; lock_many() takes several keys in deadlock-free order.
+class ShardedMutex {
+ public:
+  ShardedMutex(LockKind kind, std::size_t stripes);
+  // Throws std::invalid_argument on an unknown lock name.
+  ShardedMutex(std::string_view name, std::size_t stripes);
+
+  void lock(std::uint64_t key) { impl_->Lock(key); }
+  bool try_lock(std::uint64_t key) { return impl_->TryLock(key); }
+  void unlock(std::uint64_t key) { impl_->Unlock(key); }
+
+  void lock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->LockMany(keys.begin(), keys.size());
+  }
+  void unlock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->UnlockMany(keys.begin(), keys.size());
+  }
+
+  std::size_t stripes() const { return impl_->Stripes(); }
+  std::size_t stripe_of(std::uint64_t key) const {
+    return impl_->StripeOf(key);
+  }
+  std::size_t lock_state_bytes() const { return impl_->LockStateBytes(); }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyLockTable> impl_;
 };
 
 }  // namespace cna::core

@@ -263,10 +263,6 @@ class CnaLock {
     return node->socket.load(std::memory_order_acquire);
   }
 
-  static Handle* SpinAsNode(Handle& me) {
-    return reinterpret_cast<Handle*>(me.spin.load(std::memory_order_relaxed));
-  }
-
   void CountRelease() {
     if constexpr (Cfg::kCollectStats) {
       GlobalCnaCounters().releases.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,189 @@
+// Per-context handle pools for the lock-table subsystem.
+//
+// Queue locks (MCS, CNA, ...) need a Handle per acquisition.  The paper notes
+// that "those structures can be reused for different lock acquisitions, and
+// between different locks" (Section 5); the kernel keeps 4 statically
+// preallocated nodes per CPU.  A lock *table* multiplies that need by the
+// number of stripes a thread may hold at once, so handles are pooled here in
+// per-execution-context free lists: a context checks a handle out when it
+// locks a stripe and returns it when it unlocks.  Callers therefore get a
+// plain lock(key)/unlock(key) surface with no handle management.
+//
+// Unlike core::LockAdapter's strictly LIFO stacks, a lock table permits
+// out-of-order release across stripes (MultiGuard releases in reverse stripe
+// order, which need not be reverse acquisition order), so active handles are
+// tagged with their stripe and looked up newest-first on release.
+#ifndef CNA_LOCKTABLE_HANDLE_POOL_H_
+#define CNA_LOCKTABLE_HANDLE_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "base/cacheline.h"
+#include "base/spin_hint.h"
+
+namespace cna::locktable {
+
+// Handle pool for one LockTable instance.  Slots are indexed by P::CpuId()
+// (dense thread id on hardware, simulated CPU id in the simulator) modulo
+// kMaxContexts.  A slot is normally private to one context, but thread ids
+// are allocated monotonically and never reused, so a thread-churning process
+// can alias two *live* threads onto one slot; each slot therefore carries a
+// tiny TAS guard.  It is uncontended (and its line context-private) in the
+// common case, and it is a plain std::atomic_flag -- not P::Atomic -- so the
+// simulator charges nothing for it and fibers (which never yield inside pool
+// bookkeeping) are unaffected.
+template <typename P, typename L>
+class HandlePool {
+ public:
+  using Handle = typename L::Handle;
+
+  HandlePool() : slots_(new Slot[kMaxContexts]) {}
+
+  HandlePool(const HandlePool&) = delete;
+  HandlePool& operator=(const HandlePool&) = delete;
+
+  // Checks a handle out of this context's free list (allocating if empty) and
+  // records it as active on `stripe`.  The returned handle is stable in
+  // memory until the matching Detach(): queue locks link waiters through
+  // handle addresses.
+  Handle& Checkout(std::size_t stripe) {
+    Slot& slot = ForThisContext();
+    SlotGuard g(slot);
+    std::unique_ptr<Handle> h;
+    if (!slot.free.empty()) {
+      h = std::move(slot.free.back());
+      slot.free.pop_back();
+    } else {
+      h = std::make_unique<Handle>();
+    }
+    Handle& ref = *h;
+    slot.active.push_back(Entry{stripe, P::CpuId(), std::move(h)});
+    return ref;
+  }
+
+  // Removes the calling context's most recently checked-out handle for
+  // `stripe` from the active list and returns it.  The caller must Unlock()
+  // through it and then Recycle() it -- the handle has to stay alive until
+  // Unlock() returns.  Throws if this context holds no handle for the stripe
+  // (i.e. unlock without a matching lock).  Entries are matched by stripe AND
+  // by the raw (un-modded) context id: an entry is registered *before* its
+  // Lock() completes, so an aliased context's still-queued acquisition of the
+  // same stripe must never be mistaken for the unlocking holder's handle.
+  std::unique_ptr<Handle> Detach(std::size_t stripe) {
+    Slot& slot = ForThisContext();
+    const int self = P::CpuId();
+    SlotGuard g(slot);
+    for (std::size_t i = slot.active.size(); i-- > 0;) {
+      if (slot.active[i].stripe == stripe && slot.active[i].owner == self) {
+        std::unique_ptr<Handle> h = std::move(slot.active[i].handle);
+        slot.active.erase(slot.active.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        return h;
+      }
+    }
+    throw std::logic_error(
+        "locktable::HandlePool: unlock of a stripe this context does not "
+        "hold");
+  }
+
+  // Returns a handle obtained from Checkout()+Detach() to the free list.
+  // noexcept: it runs *after* the lock was released (Guard destructors, the C
+  // unlock path), where a throw would either terminate or misreport a
+  // completed unlock as failed.  If growing the free list fails under memory
+  // pressure, the handle is simply dropped -- safe, because queue nodes are
+  // unreferenced once Unlock() returns.
+  void Recycle(std::unique_ptr<Handle> h) noexcept {
+    Slot& slot = ForThisContext();
+    SlotGuard g(slot);
+    try {
+      slot.free.push_back(std::move(h));
+    } catch (...) {
+      // h still owns the handle; let it free the node instead of pooling it.
+    }
+  }
+
+  // Whether this context holds `stripe` (pre-validation for multi-unlock).
+  bool HoldsInThisContext(std::size_t stripe) const {
+    const Slot& slot = ForThisContext();
+    const int self = P::CpuId();
+    SlotGuard g(slot);
+    for (const Entry& e : slot.active) {
+      if (e.stripe == stripe && e.owner == self) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Number of stripes this context currently holds (tests/diagnostics).
+  std::size_t ActiveInThisContext() const {
+    const Slot& slot = ForThisContext();
+    const int self = P::CpuId();
+    SlotGuard g(slot);
+    std::size_t n = 0;
+    for (const Entry& e : slot.active) {
+      n += e.owner == self ? 1 : 0;
+    }
+    return n;
+  }
+
+  // Free-list depth for this context (tests: verifies reuse, not growth).
+  std::size_t PooledInThisContext() const {
+    const Slot& slot = ForThisContext();
+    SlotGuard g(slot);
+    return slot.free.size();
+  }
+
+ private:
+  struct Entry {
+    std::size_t stripe;
+    int owner;  // raw P::CpuId() of the checking-out context (un-modded)
+    std::unique_ptr<Handle> handle;
+  };
+
+  // Each slot on its own cache line so contexts do not false-share pool
+  // bookkeeping (the handles themselves are already line-aligned).
+  struct alignas(kCacheLineSize) Slot {
+    mutable std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    std::vector<std::unique_ptr<Handle>> free;
+    std::vector<Entry> active;
+  };
+
+  class SlotGuard {
+   public:
+    explicit SlotGuard(const Slot& slot) : busy_(slot.busy) {
+      while (busy_.test_and_set(std::memory_order_acquire)) {
+        SpinHint();
+      }
+    }
+    ~SlotGuard() { busy_.clear(std::memory_order_release); }
+
+    SlotGuard(const SlotGuard&) = delete;
+    SlotGuard& operator=(const SlotGuard&) = delete;
+
+   private:
+    std::atomic_flag& busy_;
+  };
+
+  // Matches core::LockAdapter::kMaxContexts and comfortably covers the
+  // simulator's 192 CPUs.
+  static constexpr std::size_t kMaxContexts = 1024;
+
+  Slot& ForThisContext() {
+    return slots_[static_cast<std::size_t>(P::CpuId()) % kMaxContexts];
+  }
+  const Slot& ForThisContext() const {
+    return slots_[static_cast<std::size_t>(P::CpuId()) % kMaxContexts];
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace cna::locktable
+
+#endif  // CNA_LOCKTABLE_HANDLE_POOL_H_

@@ -1,0 +1,367 @@
+// LockTable<P, L>: a futex-style dynamic lock namespace over one-word locks.
+//
+// The paper's headline claim is that CNA's shared state is a *single word*,
+// which makes it cheap enough to embed a NUMA-aware lock in every fine-
+// grained object -- the argument behind per-object lock words in Compact Java
+// Monitors and behind Linux's 4-byte qspinlock.  This subsystem exercises
+// that claim at scale: it hashes arbitrary 64-bit keys onto a power-of-two
+// array of lock stripes, the way the kernel's futex table hashes user
+// addresses onto its hash-bucket locks.  With the default compact layout a
+// million-stripe CNA table costs exactly one word per stripe (8 MiB total) --
+// the same namespace built from cohort or HMCS locks would need O(sockets)
+// cache lines per stripe, two orders of magnitude more.
+//
+// Surface:
+//  * Lock(key)/TryLock(key)/Unlock(key) -- handle-free locking; per-context
+//    handle pools (handle_pool.h) check queue nodes in and out internally.
+//  * Guard        -- RAII single-key critical section.
+//  * MultiGuard   -- acquires several keys' stripes in ascending stripe order
+//    (deduplicated), giving deadlock-free multi-key transactions; releases in
+//    descending order.
+//  * Per-stripe occupancy/contention counters (table_stats.h), off by
+//    default so the fast path carries zero instrumentation.
+//
+// Layout: stripes are packed at sizeof(L) by default (kCompact -- the space
+// claim), or padded to a cache line each (kCacheLine) when the caller prefers
+// to spend memory to rule out false sharing between neighbouring stripes of a
+// small, hot table.
+#ifndef CNA_LOCKTABLE_LOCK_TABLE_H_
+#define CNA_LOCKTABLE_LOCK_TABLE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "base/cacheline.h"
+#include "base/rng.h"
+#include "locks/lock_api.h"
+#include "locktable/handle_pool.h"
+#include "locktable/table_stats.h"
+
+namespace cna::locktable {
+
+enum class StripePadding {
+  kCompact,    // stripes packed at sizeof(L): the paper's space claim
+  kCacheLine,  // one cache line per stripe: no false sharing between stripes
+};
+
+struct LockTableOptions {
+  // Rounded up to the next power of two; 0 is treated as 1.
+  std::size_t stripes = 1024;
+  StripePadding padding = StripePadding::kCompact;
+  // Allocates the per-stripe counter array and enables counting (the lock
+  // words themselves stay untouched; see table_stats.h).
+  bool collect_stats = false;
+};
+
+template <typename P, locks::Lockable L>
+class LockTable {
+ public:
+  using LockType = L;
+  using Handle = typename L::Handle;
+
+  // Upper bound on the namespace: 2^30 stripes (8 GiB of one-word locks) is
+  // far past any sane table and keeps stripes_ * stride_ arithmetic safe.
+  static constexpr std::size_t kMaxStripes = std::size_t{1} << 30;
+
+  // Multi-key transactions up to this many keys run heap-free (inline stripe
+  // sets in MultiGuard, UnlockKeys, and the type-erased adapter).
+  static constexpr std::size_t kInlineTxnKeys = 8;
+
+  explicit LockTable(LockTableOptions options = {})
+      : stripes_(std::bit_ceil(ValidatedStripes(options.stripes))),
+        mask_(stripes_ - 1),
+        stride_(options.padding == StripePadding::kCacheLine
+                    ? RoundUp(sizeof(L), kCacheLineSize)
+                    : sizeof(L)),
+        padding_(options.padding) {
+    const std::size_t align =
+        options.padding == StripePadding::kCacheLine
+            ? std::max(alignof(L), kCacheLineSize)
+            : alignof(L);
+    storage_.resize(stripes_ * stride_ + align);
+    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
+    base_ = reinterpret_cast<std::byte*>(RoundUp(raw, align));
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      new (base_ + s * stride_) L();
+    }
+    if (options.collect_stats) {
+      stats_.Enable(stripes_);
+    }
+  }
+
+  ~LockTable() {
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      StripeLock(s).~L();
+    }
+  }
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  // --- Namespace geometry ---
+
+  std::size_t stripes() const { return stripes_; }
+  StripePadding padding() const { return padding_; }
+
+  // The stripe a key hashes to.  SplitMix64's finalizer: full-avalanche, so
+  // sequential keys spread over the whole namespace.
+  std::size_t StripeOf(std::uint64_t key) const {
+    return static_cast<std::size_t>(SplitMix64::Mix(key)) & mask_;
+  }
+
+  // Total bytes of shared lock state backing the namespace -- the quantity
+  // the paper's compactness argument is about.  One-word locks in compact
+  // layout: stripes * 8 bytes (a 1M-stripe CNA table is exactly 8 MiB).
+  std::size_t LockStateBytes() const { return stripes_ * stride_; }
+  static constexpr std::size_t PerStripeStateBytes() { return L::kStateBytes; }
+
+  L& StripeLock(std::size_t s) {
+    return *std::launder(reinterpret_cast<L*>(base_ + s * stride_));
+  }
+
+  // --- Handle-free locking surface ---
+
+  void Lock(std::uint64_t key) { LockStripe(StripeOf(key)); }
+  void Unlock(std::uint64_t key) { UnlockStripe(StripeOf(key)); }
+  bool TryLock(std::uint64_t key) { return TryLockStripe(StripeOf(key)); }
+
+  void LockStripe(std::size_t s) { AcquireStripe(s, /*multi_key=*/false); }
+
+  bool TryLockStripe(std::size_t s) {
+    static_assert(locks::TryLockable<L>,
+                  "TryLock requires a lock with a try-lock path");
+    Handle& h = pool_.Checkout(s);
+    if (StripeLock(s).TryLock(h)) {
+      stats_.OnAcquire(s, /*was_contended=*/false, /*multi_key=*/false);
+      return true;
+    }
+    stats_.OnTryLockFailure(s);
+    pool_.Recycle(pool_.Detach(s));
+    return false;
+  }
+
+  void UnlockStripe(std::size_t s) {
+    auto h = pool_.Detach(s);
+    StripeLock(s).Unlock(*h);
+    pool_.Recycle(std::move(h));
+  }
+
+  // --- Multi-key acquisition (used by MultiGuard and the C surface) ---
+  //
+  // Locks the distinct stripes of keys[0..count) in ascending stripe order;
+  // every multi-key transaction ordering its acquisitions this way makes the
+  // lock order a total order, so transactions cannot deadlock against each
+  // other.  Duplicate keys and distinct keys that collide on one stripe
+  // acquire that stripe once.
+  //
+  // The *Into primitives work in caller-provided storage (capacity >= count)
+  // so small transactions -- the common 2-key case -- stay heap-free.
+
+  // Writes the sorted distinct stripes of the key set into out[]; returns how
+  // many there are (<= count).
+  std::size_t DistinctStripesInto(const std::uint64_t* keys, std::size_t count,
+                                  std::size_t* out) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = StripeOf(keys[i]);
+    }
+    std::sort(out, out + count);
+    return static_cast<std::size_t>(std::unique(out, out + count) - out);
+  }
+
+  // Locks the key set's stripes (ascending); writes them into out[] and
+  // returns how many.  Pass out[0..n) to UnlockStripesN() to release.
+  // All-or-nothing: if a mid-transaction acquisition throws (handle
+  // allocation under memory pressure), the stripes already taken are released
+  // before the exception propagates, so the caller never holds a partial
+  // transaction it cannot identify.
+  std::size_t LockKeysInto(const std::uint64_t* keys, std::size_t count,
+                           std::size_t* out) {
+    const std::size_t n = DistinctStripesInto(keys, count, out);
+    std::size_t taken = 0;
+    try {
+      for (; taken < n; ++taken) {
+        AcquireStripe(out[taken], /*multi_key=*/true);
+      }
+    } catch (...) {
+      UnlockStripesN(out, taken);
+      throw;
+    }
+    return n;
+  }
+
+  // Releases stripes obtained from LockKeysInto(), in descending order.
+  void UnlockStripesN(const std::size_t* stripes, std::size_t n) {
+    for (std::size_t i = n; i-- > 0;) {
+      UnlockStripe(stripes[i]);
+    }
+  }
+
+  // Vector conveniences over the same primitives.
+  std::vector<std::size_t> DistinctStripes(const std::uint64_t* keys,
+                                           std::size_t count) const {
+    std::vector<std::size_t> stripes(count);
+    stripes.resize(DistinctStripesInto(keys, count, stripes.data()));
+    return stripes;
+  }
+
+  std::vector<std::size_t> LockKeys(const std::uint64_t* keys,
+                                    std::size_t count) {
+    std::vector<std::size_t> stripes(count);
+    stripes.resize(LockKeysInto(keys, count, stripes.data()));
+    return stripes;
+  }
+
+  void UnlockStripes(const std::vector<std::size_t>& stripes) {
+    UnlockStripesN(stripes.data(), stripes.size());
+  }
+
+  // Checked release of a key set: verifies this context holds *every*
+  // distinct stripe before releasing any, so a misuse (some stripe not held)
+  // throws std::logic_error without half-releasing the transaction.
+  // Heap-free for key sets up to kInlineTxnKeys, mirroring the lock side.
+  void UnlockKeys(const std::uint64_t* keys, std::size_t count) {
+    if (count <= kInlineTxnKeys) {
+      std::size_t stripes[kInlineTxnKeys];
+      UnlockDistinct(stripes, DistinctStripesInto(keys, count, stripes));
+    } else {
+      std::vector<std::size_t> stripes = DistinctStripes(keys, count);
+      UnlockDistinct(stripes.data(), stripes.size());
+    }
+  }
+
+  // --- RAII surfaces ---
+
+  class Guard {
+   public:
+    Guard(LockTable& table, std::uint64_t key)
+        : table_(table), stripe_(table.StripeOf(key)) {
+      table_.LockStripe(stripe_);
+    }
+    ~Guard() { table_.UnlockStripe(stripe_); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    std::size_t stripe() const { return stripe_; }
+
+   private:
+    LockTable& table_;
+    std::size_t stripe_;
+  };
+
+  class MultiGuard {
+   public:
+    // Transactions up to this many keys run heap-free (inline stripe set);
+    // larger key sets fall back to a vector.
+    static constexpr std::size_t kInlineKeys = kInlineTxnKeys;
+
+    MultiGuard(LockTable& table, std::initializer_list<std::uint64_t> keys)
+        : MultiGuard(table, keys.begin(), keys.size()) {}
+    MultiGuard(LockTable& table, const std::uint64_t* keys, std::size_t count)
+        : table_(table) {
+      if (count <= kInlineKeys) {
+        count_ = table_.LockKeysInto(keys, count, inline_);
+      } else {
+        overflow_.resize(count);
+        count_ = table_.LockKeysInto(keys, count, overflow_.data());
+      }
+    }
+    ~MultiGuard() { table_.UnlockStripesN(data(), count_); }
+
+    MultiGuard(const MultiGuard&) = delete;
+    MultiGuard& operator=(const MultiGuard&) = delete;
+
+    // The sorted distinct stripes this transaction holds.
+    std::vector<std::size_t> stripes() const {
+      return std::vector<std::size_t>(data(), data() + count_);
+    }
+    std::size_t size() const { return count_; }
+
+   private:
+    const std::size_t* data() const {
+      return overflow_.empty() ? inline_ : overflow_.data();
+    }
+
+    LockTable& table_;
+    std::size_t inline_[kInlineKeys];
+    std::vector<std::size_t> overflow_;
+    std::size_t count_ = 0;
+  };
+
+  // --- Statistics ---
+
+  bool stats_enabled() const { return stats_.enabled(); }
+  TableStatsSummary StatsSummary() const { return stats_.Summarize(); }
+  const StripeCounters* StripeStats(std::size_t s) const {
+    return stats_.stripe(s);
+  }
+
+  // Stripes this execution context currently holds (tests/diagnostics).
+  std::size_t HeldByThisContext() const { return pool_.ActiveInThisContext(); }
+  std::size_t PooledHandlesInThisContext() const {
+    return pool_.PooledInThisContext();
+  }
+
+ private:
+  static std::size_t ValidatedStripes(std::size_t v) {
+    if (v > kMaxStripes) {
+      throw std::length_error("locktable::LockTable: stripe count too large");
+    }
+    return v == 0 ? 1 : v;
+  }
+  static constexpr std::uint64_t RoundUp(std::uint64_t v, std::size_t unit) {
+    return (v + unit - 1) / unit * unit;
+  }
+
+  // Validate-all-then-release body of UnlockKeys.
+  void UnlockDistinct(const std::size_t* stripes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pool_.HoldsInThisContext(stripes[i])) {
+        throw std::logic_error(
+            "locktable::LockTable: UnlockKeys of a stripe this context does "
+            "not hold");
+      }
+    }
+    UnlockStripesN(stripes, n);
+  }
+
+  void AcquireStripe(std::size_t s, bool multi_key) {
+    Handle& h = pool_.Checkout(s);
+    L& lock = StripeLock(s);
+    if (stats_.enabled()) {
+      // Stats mode probes with a try-lock first so contention is observable;
+      // the stats-off path below is the undisturbed one-SWAP acquisition.
+      if constexpr (locks::TryLockable<L>) {
+        if (lock.TryLock(h)) {
+          stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
+          return;
+        }
+        lock.Lock(h);
+        stats_.OnAcquire(s, /*was_contended=*/true, multi_key);
+        return;
+      }
+    }
+    lock.Lock(h);
+    stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
+  }
+
+  std::size_t stripes_;
+  std::size_t mask_;
+  std::size_t stride_;
+  StripePadding padding_;
+  std::vector<std::byte> storage_;
+  std::byte* base_ = nullptr;
+  HandlePool<P, L> pool_;
+  TableStats stats_;
+};
+
+}  // namespace cna::locktable
+
+#endif  // CNA_LOCKTABLE_LOCK_TABLE_H_

@@ -1,0 +1,139 @@
+// Optional per-stripe occupancy/contention statistics for the lock table.
+//
+// Follows the cna_stats.h pattern: counters are diagnostics, not simulated
+// state -- they live in plain std::atomic cells (never P::Atomic), so the
+// simulator charges nothing for them and the default stats-off path carries
+// zero instrumentation.  When the table's lock type is a CNA configured with
+// kCollectStats, the summary additionally snapshots the process-global CNA
+// event counters (cna_stats.h), tying per-stripe contention back to the
+// paper's Section 7.1.1 queue-alteration statistics.
+#ifndef CNA_LOCKTABLE_TABLE_STATS_H_
+#define CNA_LOCKTABLE_TABLE_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "locks/cna_stats.h"
+
+namespace cna::locktable {
+
+// One cell per stripe, allocated only when LockTableOptions::collect_stats is
+// set.  Padded so hot stripes do not false-share their counters.
+struct alignas(64) StripeCounters {
+  // Successful Lock()/TryLock() acquisitions of this stripe.
+  std::atomic<std::uint64_t> acquisitions{0};
+  // Acquisitions that found the stripe already held (detected by a failed
+  // try-lock on the way in; a lower bound on true contention).
+  std::atomic<std::uint64_t> contended{0};
+  // TryLock() calls that returned false to the caller.
+  std::atomic<std::uint64_t> trylock_failures{0};
+  // Acquisitions made on behalf of a multi-key (MultiGuard) transaction.
+  std::atomic<std::uint64_t> multi_key{0};
+};
+
+// Aggregated view over all stripes plus the global CNA event counters.
+struct TableStatsSummary {
+  std::uint64_t total_acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;
+  std::uint64_t trylock_failures = 0;
+  std::uint64_t multi_key_acquisitions = 0;
+
+  // Occupancy: how much of the namespace the workload actually touched.
+  std::size_t stripes = 0;
+  std::size_t occupied_stripes = 0;       // stripes with >= 1 acquisition
+  std::uint64_t max_stripe_acquisitions = 0;  // hottest stripe
+
+  // Snapshot of locks::GlobalCnaCounters() (meaningful when the table's lock
+  // is a CNA variant with Cfg::kCollectStats).
+  std::uint64_t cna_releases = 0;
+  std::uint64_t cna_local_handovers = 0;
+  std::uint64_t cna_secondary_flushes = 0;
+
+  double Occupancy() const {
+    return stripes == 0 ? 0.0
+                        : static_cast<double>(occupied_stripes) /
+                              static_cast<double>(stripes);
+  }
+  double ContentionRate() const {
+    return total_acquisitions == 0
+               ? 0.0
+               : static_cast<double>(contended_acquisitions) /
+                     static_cast<double>(total_acquisitions);
+  }
+};
+
+// The per-table counter array.  Methods are no-ops when stats are disabled
+// (cells_ == nullptr), so call sites need no branching of their own.
+class TableStats {
+ public:
+  TableStats() = default;
+
+  void Enable(std::size_t stripes) {
+    stripes_ = stripes;
+    cells_ = std::make_unique<StripeCounters[]>(stripes);
+  }
+
+  bool enabled() const { return cells_ != nullptr; }
+
+  void OnAcquire(std::size_t stripe, bool was_contended, bool multi_key) {
+    if (cells_ == nullptr) {
+      return;
+    }
+    StripeCounters& c = cells_[stripe];
+    c.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (was_contended) {
+      c.contended.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (multi_key) {
+      c.multi_key.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void OnTryLockFailure(std::size_t stripe) {
+    if (cells_ != nullptr) {
+      cells_[stripe].trylock_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const StripeCounters* stripe(std::size_t s) const {
+    return cells_ == nullptr ? nullptr : &cells_[s];
+  }
+
+  TableStatsSummary Summarize() const {
+    TableStatsSummary out;
+    out.stripes = stripes_;
+    for (std::size_t s = 0; cells_ != nullptr && s < stripes_; ++s) {
+      const std::uint64_t acq =
+          cells_[s].acquisitions.load(std::memory_order_relaxed);
+      out.total_acquisitions += acq;
+      out.contended_acquisitions +=
+          cells_[s].contended.load(std::memory_order_relaxed);
+      out.trylock_failures +=
+          cells_[s].trylock_failures.load(std::memory_order_relaxed);
+      out.multi_key_acquisitions +=
+          cells_[s].multi_key.load(std::memory_order_relaxed);
+      if (acq > 0) {
+        ++out.occupied_stripes;
+      }
+      if (acq > out.max_stripe_acquisitions) {
+        out.max_stripe_acquisitions = acq;
+      }
+    }
+    const locks::CnaEventCounters& g = locks::GlobalCnaCounters();
+    out.cna_releases = g.releases.load(std::memory_order_relaxed);
+    out.cna_local_handovers = g.local_handovers.load(std::memory_order_relaxed);
+    out.cna_secondary_flushes =
+        g.secondary_flushes.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::size_t stripes_ = 0;
+  std::unique_ptr<StripeCounters[]> cells_;
+};
+
+}  // namespace cna::locktable
+
+#endif  // CNA_LOCKTABLE_TABLE_STATS_H_
