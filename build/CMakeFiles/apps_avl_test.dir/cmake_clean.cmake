@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_avl_test.dir/tests/apps_avl_test.cc.o"
+  "CMakeFiles/apps_avl_test.dir/tests/apps_avl_test.cc.o.d"
+  "apps_avl_test"
+  "apps_avl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_avl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

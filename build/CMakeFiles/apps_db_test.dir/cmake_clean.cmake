@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_db_test.dir/tests/apps_db_test.cc.o"
+  "CMakeFiles/apps_db_test.dir/tests/apps_db_test.cc.o.d"
+  "apps_db_test"
+  "apps_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_llc_miss_rate.dir/bench/fig07_llc_miss_rate.cc.o"
+  "CMakeFiles/bench_fig07_llc_miss_rate.dir/bench/fig07_llc_miss_rate.cc.o.d"
+  "bench_fig07_llc_miss_rate"
+  "bench_fig07_llc_miss_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_llc_miss_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

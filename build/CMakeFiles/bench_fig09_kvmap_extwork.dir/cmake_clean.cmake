@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_kvmap_extwork.dir/bench/fig09_kvmap_extwork.cc.o"
+  "CMakeFiles/bench_fig09_kvmap_extwork.dir/bench/fig09_kvmap_extwork.cc.o.d"
+  "bench_fig09_kvmap_extwork"
+  "bench_fig09_kvmap_extwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_kvmap_extwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

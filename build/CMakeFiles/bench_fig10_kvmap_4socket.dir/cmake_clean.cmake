@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_kvmap_4socket.dir/bench/fig10_kvmap_4socket.cc.o"
+  "CMakeFiles/bench_fig10_kvmap_4socket.dir/bench/fig10_kvmap_4socket.cc.o.d"
+  "bench_fig10_kvmap_4socket"
+  "bench_fig10_kvmap_4socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kvmap_4socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_leveldb.dir/bench/fig11_leveldb.cc.o"
+  "CMakeFiles/bench_fig11_leveldb.dir/bench/fig11_leveldb.cc.o.d"
+  "bench_fig11_leveldb"
+  "bench_fig11_leveldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_leveldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_kyoto.dir/bench/fig12_kyoto.cc.o"
+  "CMakeFiles/bench_fig12_kyoto.dir/bench/fig12_kyoto.cc.o.d"
+  "bench_fig12_kyoto"
+  "bench_fig12_kyoto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_kyoto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

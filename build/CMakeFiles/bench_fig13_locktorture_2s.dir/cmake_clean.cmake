@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_locktorture_2s.dir/bench/fig13_locktorture_2s.cc.o"
+  "CMakeFiles/bench_fig13_locktorture_2s.dir/bench/fig13_locktorture_2s.cc.o.d"
+  "bench_fig13_locktorture_2s"
+  "bench_fig13_locktorture_2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_locktorture_2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_locktorture_4s.dir/bench/fig14_locktorture_4s.cc.o"
+  "CMakeFiles/bench_fig14_locktorture_4s.dir/bench/fig14_locktorture_4s.cc.o.d"
+  "bench_fig14_locktorture_4s"
+  "bench_fig14_locktorture_4s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_locktorture_4s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

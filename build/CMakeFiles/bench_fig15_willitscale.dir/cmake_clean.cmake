@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_willitscale.dir/bench/fig15_willitscale.cc.o"
+  "CMakeFiles/bench_fig15_willitscale.dir/bench/fig15_willitscale.cc.o.d"
+  "bench_fig15_willitscale"
+  "bench_fig15_willitscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_willitscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_locktable_sweep.dir/bench/locktable_sweep.cc.o"
+  "CMakeFiles/bench_locktable_sweep.dir/bench/locktable_sweep.cc.o.d"
+  "bench_locktable_sweep"
+  "bench_locktable_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locktable_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_contention.dir/bench/table1_contention.cc.o"
+  "CMakeFiles/bench_table1_contention.dir/bench/table1_contention.cc.o.d"
+  "bench_table1_contention"
+  "bench_table1_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/avl_map.cc" "CMakeFiles/cna_core.dir/src/apps/avl_map.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/apps/avl_map.cc.o.d"
+  "/root/repo/src/base/stats.cc" "CMakeFiles/cna_core.dir/src/base/stats.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/base/stats.cc.o.d"
+  "/root/repo/src/core/pthread_api.cc" "CMakeFiles/cna_core.dir/src/core/pthread_api.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/core/pthread_api.cc.o.d"
+  "/root/repo/src/core/registry.cc" "CMakeFiles/cna_core.dir/src/core/registry.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/core/registry.cc.o.d"
+  "/root/repo/src/harness/report.cc" "CMakeFiles/cna_core.dir/src/harness/report.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "CMakeFiles/cna_core.dir/src/harness/runner.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/harness/runner.cc.o.d"
+  "/root/repo/src/kernel/lockstat.cc" "CMakeFiles/cna_core.dir/src/kernel/lockstat.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/kernel/lockstat.cc.o.d"
+  "/root/repo/src/numa/topology.cc" "CMakeFiles/cna_core.dir/src/numa/topology.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/numa/topology.cc.o.d"
+  "/root/repo/src/platform/thread_context.cc" "CMakeFiles/cna_core.dir/src/platform/thread_context.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/platform/thread_context.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "CMakeFiles/cna_core.dir/src/sim/machine.cc.o" "gcc" "CMakeFiles/cna_core.dir/src/sim/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

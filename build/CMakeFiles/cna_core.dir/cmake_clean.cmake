@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cna_core.dir/src/apps/avl_map.cc.o"
+  "CMakeFiles/cna_core.dir/src/apps/avl_map.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/base/stats.cc.o"
+  "CMakeFiles/cna_core.dir/src/base/stats.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/core/pthread_api.cc.o"
+  "CMakeFiles/cna_core.dir/src/core/pthread_api.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/core/registry.cc.o"
+  "CMakeFiles/cna_core.dir/src/core/registry.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/harness/report.cc.o"
+  "CMakeFiles/cna_core.dir/src/harness/report.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/harness/runner.cc.o"
+  "CMakeFiles/cna_core.dir/src/harness/runner.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/kernel/lockstat.cc.o"
+  "CMakeFiles/cna_core.dir/src/kernel/lockstat.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/numa/topology.cc.o"
+  "CMakeFiles/cna_core.dir/src/numa/topology.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/platform/thread_context.cc.o"
+  "CMakeFiles/cna_core.dir/src/platform/thread_context.cc.o.d"
+  "CMakeFiles/cna_core.dir/src/sim/machine.cc.o"
+  "CMakeFiles/cna_core.dir/src/sim/machine.cc.o.d"
+  "libcna_core.a"
+  "libcna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

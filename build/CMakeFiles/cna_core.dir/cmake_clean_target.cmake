@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcna_core.a"
+)

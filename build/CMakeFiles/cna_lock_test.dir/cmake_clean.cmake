@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cna_lock_test.dir/tests/cna_lock_test.cc.o"
+  "CMakeFiles/cna_lock_test.dir/tests/cna_lock_test.cc.o.d"
+  "cna_lock_test"
+  "cna_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cna_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

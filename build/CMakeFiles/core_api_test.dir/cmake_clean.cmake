@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_api_test.dir/tests/core_api_test.cc.o"
+  "CMakeFiles/core_api_test.dir/tests/core_api_test.cc.o.d"
+  "core_api_test"
+  "core_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

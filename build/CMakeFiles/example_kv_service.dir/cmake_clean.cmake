@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_service.dir/examples/kv_service.cpp.o"
+  "CMakeFiles/example_kv_service.dir/examples/kv_service.cpp.o.d"
+  "example_kv_service"
+  "example_kv_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

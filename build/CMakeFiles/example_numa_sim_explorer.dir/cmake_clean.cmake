@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_numa_sim_explorer.dir/examples/numa_sim_explorer.cpp.o"
+  "CMakeFiles/example_numa_sim_explorer.dir/examples/numa_sim_explorer.cpp.o.d"
+  "example_numa_sim_explorer"
+  "example_numa_sim_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_numa_sim_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

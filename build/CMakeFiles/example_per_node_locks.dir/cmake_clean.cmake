@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_per_node_locks.dir/examples/per_node_locks.cpp.o"
+  "CMakeFiles/example_per_node_locks.dir/examples/per_node_locks.cpp.o.d"
+  "example_per_node_locks"
+  "example_per_node_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_per_node_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_per_node_locks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_torture_test.dir/tests/kernel_torture_test.cc.o"
+  "CMakeFiles/kernel_torture_test.dir/tests/kernel_torture_test.cc.o.d"
+  "kernel_torture_test"
+  "kernel_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

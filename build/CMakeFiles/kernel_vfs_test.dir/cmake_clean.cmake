@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_vfs_test.dir/tests/kernel_vfs_test.cc.o"
+  "CMakeFiles/kernel_vfs_test.dir/tests/kernel_vfs_test.cc.o.d"
+  "kernel_vfs_test"
+  "kernel_vfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

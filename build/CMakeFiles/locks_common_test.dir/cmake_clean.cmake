@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_common_test.dir/tests/locks_common_test.cc.o"
+  "CMakeFiles/locks_common_test.dir/tests/locks_common_test.cc.o.d"
+  "locks_common_test"
+  "locks_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktable_api_test.dir/tests/locktable_api_test.cc.o"
+  "CMakeFiles/locktable_api_test.dir/tests/locktable_api_test.cc.o.d"
+  "locktable_api_test"
+  "locktable_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktable_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

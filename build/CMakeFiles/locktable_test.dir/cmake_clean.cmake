@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktable_test.dir/tests/locktable_test.cc.o"
+  "CMakeFiles/locktable_test.dir/tests/locktable_test.cc.o.d"
+  "locktable_test"
+  "locktable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qspinlock_test.dir/tests/qspinlock_test.cc.o"
+  "CMakeFiles/qspinlock_test.dir/tests/qspinlock_test.cc.o.d"
+  "qspinlock_test"
+  "qspinlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qspinlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
