@@ -10,7 +10,12 @@
 //      search over the pre-filled sorted table (real work, real data traffic)
 //   3. "but acquires locks protecting (sharded) LRU cache as it seeks to
 //      update the cache structure with the accessed key."  -> shard locks
-//      striped through a locktable::LockTable (leveldb's default 16 ways)
+//      striped through a locktable::RwLockTable (leveldb's default 16 ways).
+//      Cache lookups are read-dominated, so the shard table is reader-writer:
+//      a hit takes the stripe in *shared* mode and records recency in a
+//      per-entry reference bit (second-chance/CLOCK, the classic way to keep
+//      a cache's hit path read-only); only inserts and evictions take the
+//      stripe exclusively.
 //   4. Releasing the snapshot re-acquires the global lock to drop the refs.
 //
 // Pre-filled DB (1M keys): long step 2 => moderate global-lock contention,
@@ -20,6 +25,7 @@
 #ifndef CNA_APPS_MINI_LEVELDB_H_
 #define CNA_APPS_MINI_LEVELDB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <optional>
@@ -28,8 +34,9 @@
 
 #include "base/cacheline.h"
 #include "base/rng.h"
+#include "locks/cna_rwlock.h"
 #include "locks/lock_api.h"
-#include "locktable/lock_table.h"
+#include "locktable/rw_lock_table.h"
 
 namespace cna::apps {
 
@@ -41,6 +48,9 @@ struct MiniLevelDbOptions {
   // up to a power of two).
   std::size_t cache_shards = 16;
   std::size_t cache_capacity_per_shard = 4096;
+  // Enables the shard table's per-stripe read/write counters (tests assert
+  // the cache path is read-dominated).
+  bool cache_stats = false;
   std::uint64_t seed = 7;
   // Instruction-execution cost of the global-lock critical section.
   std::uint64_t snapshot_cs_ns = 40;
@@ -49,13 +59,17 @@ struct MiniLevelDbOptions {
 template <typename P, locks::Lockable L>
 class MiniLevelDb {
  public:
+  // Cache shard stripes are compact CnaRwLocks (one 8-byte word each --
+  // the table-embedding layout), padded to a line per stripe because the
+  // shard array is small and hot.
+  using ShardRwLock = locks::CnaRwLock<P, locks::CnaRwCompactConfig>;
+  using ShardLockTable = locktable::RwLockTable<P, ShardRwLock>;
+
   explicit MiniLevelDb(MiniLevelDbOptions options)
       : options_(options),
-        // Shard locks are table stripes padded to a line each: the cache
-        // shard array is small and hot, so the layout mirrors the
-        // CacheAligned shard structs the locks used to live in.
         shard_locks_({.stripes = options.cache_shards,
-                      .padding = locktable::StripePadding::kCacheLine}),
+                      .padding = locktable::StripePadding::kCacheLine,
+                      .collect_stats = options.cache_stats}),
         shards_(shard_locks_.stripes()) {
     table_.reserve(options.prefill_keys);
     for (std::uint64_t i = 0; i < options.prefill_keys; ++i) {
@@ -110,7 +124,13 @@ class MiniLevelDb {
 
   std::uint64_t version_refs() const { return version_refs_; }
   L& global_lock() { return global_lock_; }
-  locktable::LockTable<P, L>& cache_shard_locks() { return shard_locks_; }
+  ShardLockTable& cache_shard_locks() { return shard_locks_; }
+
+  // Number of entries cached in shard `s` (tests: capacity bounds).  Call
+  // only when no worker is running.
+  std::size_t CacheShardSize(std::size_t s) const {
+    return shards_[s]->lru.size();
+  }
 
   static std::uint64_t MixValue(std::uint64_t key) {
     return key * 0x9e3779b97f4a7c15ull;
@@ -152,38 +172,77 @@ class MiniLevelDb {
 
   void TouchCache(std::uint64_t key) {
     // The lock table's hash picks the shard; data shards are indexed by the
-    // same stripe so a shard's lock and its LRU state stay 1:1.
-    typename locktable::LockTable<P, L>::Guard guard(shard_locks_, key);
-    const std::size_t s = guard.stripe();
+    // same stripe so a shard's lock and its recency state stay 1:1.
+    //
+    // Hit path (the common case under readrandom): the stripe is taken in
+    // *shared* mode -- the lookup mutates nothing structural, it only sets
+    // the entry's reference bit, so concurrent hits on one shard proceed in
+    // parallel.  Only a miss (insert + possible eviction) upgrades to the
+    // stripe's exclusive mode.
+    const std::size_t s = shard_locks_.StripeOf(key);
     Shard& shard = *shards_[s];
     const std::uint64_t base = kShardId + (static_cast<std::uint64_t>(s) << 20);
+    {
+      typename ShardLockTable::ReadGuard guard(shard_locks_, key);
+      auto it = shard.index.find(key);
+      P::OnDataAccess(base, /*write=*/false);
+      if (it != shard.index.end()) {
+        // Second-chance promotion: the flag write is the hit path's only
+        // store, confined to the entry's own line.
+        it->second->referenced.store(true, std::memory_order_relaxed);
+        P::OnDataAccess(base + 1 + key % 32, /*write=*/true);
+        return;
+      }
+    }
+
+    // Miss: insert under the exclusive mode.  Re-probe first -- another
+    // writer may have inserted the key between the guards.
+    typename ShardLockTable::WriteGuard guard(shard_locks_, key);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      // Hit: move to the front of the LRU list.
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      P::OnDataAccess(base, /*write=*/true);
-    } else {
-      shard.lru.push_front(key);
-      shard.index[key] = shard.lru.begin();
-      P::OnDataAccess(base, /*write=*/true);
-      P::OnDataAccess(base + 1 + key % 32, /*write=*/true);
-      if (shard.lru.size() > options_.cache_capacity_per_shard) {
-        shard.index.erase(shard.lru.back());
-        shard.lru.pop_back();
-        P::OnDataAccess(base + 2, /*write=*/true);
+      it->second->referenced.store(true, std::memory_order_relaxed);
+      return;
+    }
+    shard.lru.emplace_front(key);
+    shard.index.emplace(key, shard.lru.begin());
+    P::OnDataAccess(base, /*write=*/true);
+    P::OnDataAccess(base + 1 + key % 32, /*write=*/true);
+    // Evict with second chance: a referenced tail entry gets its bit cleared
+    // and one more trip through the list (bounded to one full scan).
+    std::size_t scanned = shard.lru.size();
+    while (shard.lru.size() > options_.cache_capacity_per_shard) {
+      CacheEntry& victim = shard.lru.back();
+      if (scanned-- > 0 &&
+          victim.referenced.load(std::memory_order_relaxed)) {
+        victim.referenced.store(false, std::memory_order_relaxed);
+        shard.lru.splice(shard.lru.begin(), shard.lru,
+                         std::prev(shard.lru.end()));
+        continue;
       }
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      P::OnDataAccess(base + 2, /*write=*/true);
     }
   }
 
+  // One cached key plus its CLOCK reference bit.  List nodes are stable in
+  // memory, so readers may set the (atomic) bit while other readers scan.
+  struct CacheEntry {
+    explicit CacheEntry(std::uint64_t k) : key(k) {}
+    std::uint64_t key;
+    std::atomic<bool> referenced{false};
+  };
+
   struct Shard {
-    std::list<std::uint64_t> lru;
-    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+    std::list<CacheEntry> lru;
+    std::unordered_map<std::uint64_t,
+                       typename std::list<CacheEntry>::iterator>
         index;
   };
 
   MiniLevelDbOptions options_;
   L global_lock_;
-  locktable::LockTable<P, L> shard_locks_;
+  ShardLockTable shard_locks_;
   std::vector<CacheAligned<Shard>> shards_;  // indexed by lock-table stripe
   std::vector<std::pair<std::uint64_t, std::uint64_t>> table_;  // sorted
   std::unordered_map<std::uint64_t, std::uint64_t> memtable_;

@@ -25,6 +25,7 @@
 #include "base/rng.h"
 #include "locks/lock_api.h"
 #include "locktable/lock_table.h"
+#include "locktable/rw_lock_table.h"
 
 namespace cna::apps {
 
@@ -153,6 +154,100 @@ class ShardedKv {
   }
 
   ShardedKvOptions options_;
+  Table table_;
+  std::vector<std::uint64_t> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Read-mostly mode: the same direct-mapped store served through a
+// locktable::RwLockTable, so lookups take a stripe in shared mode and only
+// mutations are exclusive.  This is the workload the reader-writer namespace
+// exists for (caches, session tables, read-mostly KV): the read ratio is a
+// runtime dial and bench/rwtable_readmostly.cc sweeps it 50-100%.
+// ---------------------------------------------------------------------------
+
+struct RwShardedKvOptions {
+  std::uint64_t key_range = 1 << 16;
+  std::size_t lock_stripes = 1024;
+  locktable::StripePadding padding = locktable::StripePadding::kCompact;
+  bool collect_stats = false;
+  // ReadMostlyOp distribution: percentage of operations that are Get()s; the
+  // remainder are single-key Put()s.
+  int read_pct = 95;
+  // Instruction-execution cost charged inside each critical section.
+  std::uint64_t cs_compute_ns = 50;
+};
+
+template <typename P, locks::SharedLockable L>
+class RwShardedKv {
+ public:
+  using Table = locktable::RwLockTable<P, L>;
+
+  explicit RwShardedKv(RwShardedKvOptions options)
+      : options_(options),
+        table_({.stripes = options.lock_stripes,
+                .padding = options.padding,
+                .collect_stats = options.collect_stats}),
+        values_(options.key_range, 0) {}
+
+  RwShardedKv(const RwShardedKv&) = delete;
+  RwShardedKv& operator=(const RwShardedKv&) = delete;
+
+  // Lookup under the stripe's shared mode: concurrent readers of one stripe
+  // (and of course of different stripes) proceed in parallel.
+  std::optional<std::uint64_t> Get(std::uint64_t key) {
+    typename Table::ReadGuard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/false);
+    const std::uint64_t v = values_[key];
+    if (v == 0) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  void Put(std::uint64_t key, std::uint64_t value) {
+    typename Table::WriteGuard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/true);
+    values_[key] = value;
+  }
+
+  // Read-modify-write under one exclusive stripe (stress tests: a lost
+  // update or a reader racing a writer shows up as a dropped count).
+  void Add(std::uint64_t key, std::uint64_t delta) {
+    typename Table::WriteGuard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/true);
+    values_[key] += delta;
+  }
+
+  // One benchmark operation: a Get with probability read_pct, else a Put.
+  void ReadMostlyOp(XorShift64& rng) {
+    const std::uint64_t key = rng.NextBelow(options_.key_range);
+    if (static_cast<int>(rng.NextBelow(100)) < options_.read_pct) {
+      (void)Get(key);
+    } else {
+      Put(key, key + 1);
+    }
+  }
+
+  // Unsynchronized sum over all slots; call only when no worker is running.
+  std::uint64_t TotalValue() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  Table& table() { return table_; }
+  const RwShardedKvOptions& options() const { return options_; }
+
+ private:
+  static constexpr std::uint64_t kValueRegionBase = 1ull << 35;
+
+  RwShardedKvOptions options_;
   Table table_;
   std::vector<std::uint64_t> values_;
 };

@@ -1,0 +1,154 @@
+// Type-erased reader-writer lock interface: the rwlock counterpart of
+// any_lock.h, behind the pthread_rwlock shape (rdlock/wrlock/unlock) so the
+// registry and the C API can hand out NUMA-aware rwlocks by name.
+//
+// Handle management follows LockAdapter: each execution context keeps LIFO
+// pools of handles, one per mode.  The unified Unlock() (pthread_rwlock_
+// unlock semantics) releases the most recent acquisition, preferring the
+// exclusive stack -- within one context an exclusive section can never be
+// nested inside a shared section of the same lock (that would self-deadlock),
+// so the preference is unambiguous.
+#ifndef CNA_CORE_ANY_RWLOCK_H_
+#define CNA_CORE_ANY_RWLOCK_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/any_lock.h"
+#include "locks/lock_api.h"
+
+namespace cna::core {
+
+// Abstract reader-writer lock.  Shared and exclusive acquisitions must each
+// be LIFO-nested per execution context; Unlock() releases the newest
+// acquisition in either mode.
+class AnyRwLock {
+ public:
+  virtual ~AnyRwLock() = default;
+
+  virtual void Lock() = 0;          // exclusive
+  virtual bool TryLock() = 0;
+  virtual void LockShared() = 0;
+  virtual bool TryLockShared() = 0;
+  // Mode-specific releases (C++ std::shared_mutex shape).
+  virtual void Unlock() = 0;
+  virtual void UnlockShared() = 0;
+  // pthread_rwlock_unlock shape: releases whichever mode was acquired last.
+  virtual void UnlockAny() = 0;
+
+  virtual std::size_t StateBytes() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+template <typename P, locks::SharedLockable L>
+class RwLockAdapter final : public AnyRwLock {
+ public:
+  explicit RwLockAdapter(std::string name) : name_(std::move(name)) {}
+
+  void Lock() override {
+    auto& stack = ExclusiveStack();
+    auto h = CheckOut(stack);
+    impl_.Lock(*h);
+    stack.active.push_back(std::move(h));
+  }
+
+  bool TryLock() override {
+    auto& stack = ExclusiveStack();
+    auto h = CheckOut(stack);
+    if (impl_.TryLock(*h)) {
+      stack.active.push_back(std::move(h));
+      return true;
+    }
+    stack.free.push_back(std::move(h));
+    return false;
+  }
+
+  void LockShared() override {
+    auto& stack = SharedStack();
+    auto h = CheckOut(stack);
+    impl_.LockShared(*h);
+    stack.active.push_back(std::move(h));
+  }
+
+  bool TryLockShared() override {
+    static_assert(locks::SharedTryLockable<L>);
+    auto& stack = SharedStack();
+    auto h = CheckOut(stack);
+    if (impl_.TryLockShared(*h)) {
+      stack.active.push_back(std::move(h));
+      return true;
+    }
+    stack.free.push_back(std::move(h));
+    return false;
+  }
+
+  void Unlock() override {
+    auto& stack = ExclusiveStack();
+    if (stack.active.empty()) {
+      throw std::logic_error("AnyRwLock::Unlock without matching Lock");
+    }
+    auto h = std::move(stack.active.back());
+    stack.active.pop_back();
+    impl_.Unlock(*h);
+    stack.free.push_back(std::move(h));
+  }
+
+  void UnlockShared() override {
+    auto& stack = SharedStack();
+    if (stack.active.empty()) {
+      throw std::logic_error(
+          "AnyRwLock::UnlockShared without matching LockShared");
+    }
+    auto h = std::move(stack.active.back());
+    stack.active.pop_back();
+    impl_.UnlockShared(*h);
+    stack.free.push_back(std::move(h));
+  }
+
+  void UnlockAny() override {
+    if (!ExclusiveStack().active.empty()) {
+      Unlock();
+    } else {
+      UnlockShared();
+    }
+  }
+
+  std::size_t StateBytes() const override { return L::kStateBytes; }
+  std::string Name() const override { return name_; }
+
+  L& impl() { return impl_; }
+
+ private:
+  static constexpr std::size_t kMaxContexts = 1024;
+
+  using Stack = internal::HandleStack<L>;
+
+  static std::unique_ptr<typename L::Handle> CheckOut(Stack& stack) {
+    if (!stack.free.empty()) {
+      auto h = std::move(stack.free.back());
+      stack.free.pop_back();
+      return h;
+    }
+    return std::make_unique<typename L::Handle>();
+  }
+
+  Stack& ExclusiveStack() {
+    return excl_stacks_[static_cast<std::size_t>(P::CpuId()) % kMaxContexts];
+  }
+  Stack& SharedStack() {
+    return shared_stacks_[static_cast<std::size_t>(P::CpuId()) % kMaxContexts];
+  }
+
+  L impl_;
+  std::string name_;
+  std::array<Stack, kMaxContexts> excl_stacks_{};
+  std::array<Stack, kMaxContexts> shared_stacks_{};
+};
+
+}  // namespace cna::core
+
+#endif  // CNA_CORE_ANY_RWLOCK_H_

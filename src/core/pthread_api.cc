@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/any_lock_table.h"
+#include "core/any_rwlock.h"
+#include "core/any_rwlock_table.h"
 #include "core/registry.h"
 #include "locktable/lock_table.h"
 #include "platform/real_platform.h"
@@ -21,6 +23,19 @@ struct cna_locktable {
       : impl(cna::core::MakeLockTable<cna::RealPlatform>(
             kind, cna::locktable::LockTableOptions{.stripes = stripes})) {}
   std::unique_ptr<cna::core::AnyLockTable> impl;
+};
+
+struct cna_rwlock {
+  explicit cna_rwlock(cna::core::RwLockKind kind)
+      : impl(cna::core::MakeRwLock<cna::RealPlatform>(kind)) {}
+  std::unique_ptr<cna::core::AnyRwLock> impl;
+};
+
+struct cna_rwlocktable {
+  cna_rwlocktable(cna::core::RwLockKind kind, size_t stripes)
+      : impl(cna::core::MakeRwLockTable<cna::RealPlatform>(
+            kind, cna::locktable::LockTableOptions{.stripes = stripes})) {}
+  std::unique_ptr<cna::core::AnyRwLockTable> impl;
 };
 
 namespace {
@@ -195,6 +210,196 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key) {
 }
 
 size_t cna_locktable_state_bytes(const cna_locktable_t* table) {
+  return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+// --------------------------- reader-writer lock ----------------------------
+
+cna_rwlock_t* cna_rwlock_create(const char* rwlock_name) {
+  if (rwlock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::RwLockKindFromName(rwlock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  try {
+    return new (std::nothrow) cna_rwlock(*kind);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_rwlock_t* cna_rwlock_create_default(void) {
+  try {
+    return new (std::nothrow) cna_rwlock(cna::core::RwLockKind::kCnaRw);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_rwlock_destroy(cna_rwlock_t* rwlock) { delete rwlock; }
+
+int cna_rwlock_rdlock(cna_rwlock_t* rwlock) {
+  if (rwlock == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    rwlock->impl->LockShared();
+    return 0;
+  });
+}
+
+int cna_rwlock_tryrdlock(cna_rwlock_t* rwlock) {
+  if (rwlock == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall(
+      [&] { return rwlock->impl->TryLockShared() ? 0 : EBUSY; });
+}
+
+int cna_rwlock_wrlock(cna_rwlock_t* rwlock) {
+  if (rwlock == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    rwlock->impl->Lock();
+    return 0;
+  });
+}
+
+int cna_rwlock_trywrlock(cna_rwlock_t* rwlock) {
+  if (rwlock == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] { return rwlock->impl->TryLock() ? 0 : EBUSY; });
+}
+
+int cna_rwlock_unlock(cna_rwlock_t* rwlock) {
+  if (rwlock == nullptr) {
+    return EINVAL;
+  }
+  // EPERM when this thread holds the lock in neither mode.
+  return GuardedCall([&] {
+    rwlock->impl->UnlockAny();
+    return 0;
+  });
+}
+
+size_t cna_rwlock_state_bytes(const cna_rwlock_t* rwlock) {
+  return rwlock == nullptr ? 0 : rwlock->impl->StateBytes();
+}
+
+// ------------------------ reader-writer lock table -------------------------
+
+cna_rwlocktable_t* cna_rwlocktable_create(const char* rwlock_name,
+                                          size_t stripes) {
+  if (rwlock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::RwLockKindFromName(rwlock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  try {
+    return new (std::nothrow) cna_rwlocktable(*kind, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_rwlocktable_t* cna_rwlocktable_create_default(size_t stripes) {
+  try {
+    return new (std::nothrow)
+        cna_rwlocktable(cna::core::RwLockKind::kCnaRwCompact, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_rwlocktable_destroy(cna_rwlocktable_t* table) { delete table; }
+
+int cna_rwlocktable_rdlock(cna_rwlocktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->LockShared(key);
+    return 0;
+  });
+}
+
+int cna_rwlocktable_tryrdlock(cna_rwlocktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall(
+      [&] { return table->impl->TryLockShared(key) ? 0 : EBUSY; });
+}
+
+int cna_rwlocktable_wrlock(cna_rwlocktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->LockExclusive(key);
+    return 0;
+  });
+}
+
+int cna_rwlocktable_trywrlock(cna_rwlocktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall(
+      [&] { return table->impl->TryLockExclusive(key) ? 0 : EBUSY; });
+}
+
+int cna_rwlocktable_unlock(cna_rwlocktable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  // EPERM when this thread holds the key's stripe in neither mode.
+  return GuardedCall([&] {
+    table->impl->Unlock(key);
+    return 0;
+  });
+}
+
+int cna_rwlocktable_wrlock_many(cna_rwlocktable_t* table,
+                                const uint64_t* keys, size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->LockMany(keys, count);
+    return 0;
+  });
+}
+
+int cna_rwlocktable_unlock_many(cna_rwlocktable_t* table,
+                                const uint64_t* keys, size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  // EPERM when some stripe in the set is not held exclusively; the checked
+  // release verifies the whole set first, so nothing is half-released.
+  return GuardedCall([&] {
+    table->impl->UnlockMany(keys, count);
+    return 0;
+  });
+}
+
+size_t cna_rwlocktable_stripes(const cna_rwlocktable_t* table) {
+  return table == nullptr ? 0 : table->impl->Stripes();
+}
+
+size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
+                                 uint64_t key) {
+  return table == nullptr ? 0 : table->impl->StripeOf(key);
+}
+
+size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table) {
   return table == nullptr ? 0 : table->impl->LockStateBytes();
 }
 

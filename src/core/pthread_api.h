@@ -77,6 +77,83 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key);
 // stripe -- a million-stripe table is 8 MiB).
 size_t cna_locktable_state_bytes(const cna_locktable_t* table);
 
+// ---------------------------------------------------------------------------
+// Reader-writer locks (src/locks/cna_rwlock.h): pthread_rwlock-shaped surface
+// over the compact NUMA-aware rwlock family.  Kinds: "cna-rw" (per-socket
+// padded reader counters, CNA writer queue) and "cna-rw-compact" (one 8-byte
+// word: qrwlock layout over a 4-byte CNA qspinlock).
+// ---------------------------------------------------------------------------
+
+typedef struct cna_rwlock cna_rwlock_t;
+
+// Creates a rwlock backed by the named kind; nullptr if the name is unknown.
+cna_rwlock_t* cna_rwlock_create(const char* rwlock_name);
+
+// Creates a rwlock backed by the default kind (cna-rw).
+cna_rwlock_t* cna_rwlock_create_default(void);
+
+void cna_rwlock_destroy(cna_rwlock_t* rwlock);
+
+// Return 0 on success (pthread convention).
+int cna_rwlock_rdlock(cna_rwlock_t* rwlock);
+// Returns 0 on success, EBUSY if a writer holds or is waiting.
+int cna_rwlock_tryrdlock(cna_rwlock_t* rwlock);
+int cna_rwlock_wrlock(cna_rwlock_t* rwlock);
+// Returns 0 on success, EBUSY if the lock is held in either mode.
+int cna_rwlock_trywrlock(cna_rwlock_t* rwlock);
+// pthread_rwlock_unlock semantics: releases the calling thread's most recent
+// acquisition in either mode.  Returns 0 on success, EPERM if the thread
+// holds the lock in neither mode.
+int cna_rwlock_unlock(cna_rwlock_t* rwlock);
+
+// sizeof of the shared lock state ("cna-rw-compact": one 8-byte word).
+size_t cna_rwlock_state_bytes(const cna_rwlock_t* rwlock);
+
+// ---------------------------------------------------------------------------
+// Sharded reader-writer lock table (src/locktable/rw_lock_table.h): the
+// read-mostly counterpart of cna_locktable_*.  Keys hash onto `stripes`
+// reader-writer locks; readers of one stripe run concurrently, a writer of a
+// stripe is exclusive.  rd/wr lock-unlock calls must balance per thread.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_rwlocktable cna_rwlocktable_t;
+
+// Creates a table of `stripes` rwlocks of the named kind ("cna-rw",
+// "cna-rw-compact").  Returns nullptr if the name is unknown.
+cna_rwlocktable_t* cna_rwlocktable_create(const char* rwlock_name,
+                                          size_t stripes);
+
+// Creates a table backed by the default compact kind (cna-rw-compact: one
+// 8-byte word per stripe -- the table-embedding layout).
+cna_rwlocktable_t* cna_rwlocktable_create_default(size_t stripes);
+
+void cna_rwlocktable_destroy(cna_rwlocktable_t* table);
+
+// Return 0 on success (pthread convention).
+int cna_rwlocktable_rdlock(cna_rwlocktable_t* table, uint64_t key);
+// Returns 0 on success, EBUSY if a writer holds or is waiting on the stripe.
+int cna_rwlocktable_tryrdlock(cna_rwlocktable_t* table, uint64_t key);
+int cna_rwlocktable_wrlock(cna_rwlocktable_t* table, uint64_t key);
+// Returns 0 on success, EBUSY if the stripe is held in either mode.
+int cna_rwlocktable_trywrlock(cna_rwlocktable_t* table, uint64_t key);
+// Releases the key's stripe in whichever mode the calling thread holds it.
+// Returns 0 on success, EPERM if the thread holds it in neither mode.
+int cna_rwlocktable_unlock(cna_rwlocktable_t* table, uint64_t key);
+
+// Multi-key exclusive transactions, ascending-stripe deadlock-free order.
+int cna_rwlocktable_wrlock_many(cna_rwlocktable_t* table,
+                                const uint64_t* keys, size_t count);
+int cna_rwlocktable_unlock_many(cna_rwlocktable_t* table,
+                                const uint64_t* keys, size_t count);
+
+size_t cna_rwlocktable_stripes(const cna_rwlocktable_t* table);
+size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
+                                 uint64_t key);
+
+// Total bytes of shared lock state backing the namespace (cna-rw-compact:
+// one 8-byte word per stripe).
+size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table);
+
 }  // extern "C"
 
 #endif  // CNA_CORE_PTHREAD_API_H_

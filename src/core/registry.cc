@@ -116,6 +116,43 @@ bool IsNumaAware(LockKind kind) {
   }
 }
 
+const std::vector<RwLockKind>& AllRwLockKinds() {
+  static const std::vector<RwLockKind> kinds = {
+      RwLockKind::kCnaRw,
+      RwLockKind::kCnaRwCompact,
+  };
+  return kinds;
+}
+
+std::string_view RwLockKindName(RwLockKind kind) {
+  switch (kind) {
+    case RwLockKind::kCnaRw: return "cna-rw";
+    case RwLockKind::kCnaRwCompact: return "cna-rw-compact";
+  }
+  return "unknown";
+}
+
+std::string_view RwLockKindDescription(RwLockKind kind) {
+  switch (kind) {
+    case RwLockKind::kCnaRw:
+      return "CNA writer queue + per-socket padded reader counters "
+             "(BRAVO/cohort-style read side)";
+    case RwLockKind::kCnaRwCompact:
+      return "one-word (8-byte) qrwlock layout: reader count word + 4-byte "
+             "qspinlock with the CNA slow path";
+  }
+  return "";
+}
+
+std::optional<RwLockKind> RwLockKindFromName(std::string_view name) {
+  for (RwLockKind k : AllRwLockKinds()) {
+    if (RwLockKindName(k) == name) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
 Mutex::Mutex(LockKind kind) : impl_(MakeLock<RealPlatform>(kind)) {}
 
 Mutex::Mutex(std::string_view name) {
@@ -139,6 +176,35 @@ ShardedMutex::ShardedMutex(std::string_view name, std::size_t stripes) {
         "\"");
   }
   impl_ = MakeLockTable<RealPlatform>(
+      *kind, locktable::LockTableOptions{.stripes = stripes});
+}
+
+SharedMutex::SharedMutex(RwLockKind kind)
+    : impl_(MakeRwLock<RealPlatform>(kind)) {}
+
+SharedMutex::SharedMutex(std::string_view name) {
+  auto kind = RwLockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument(
+        "cna::core::SharedMutex: unknown rwlock name \"" + std::string(name) +
+        "\"");
+  }
+  impl_ = MakeRwLock<RealPlatform>(*kind);
+}
+
+ShardedSharedMutex::ShardedSharedMutex(RwLockKind kind, std::size_t stripes)
+    : impl_(MakeRwLockTable<RealPlatform>(
+          kind, locktable::LockTableOptions{.stripes = stripes})) {}
+
+ShardedSharedMutex::ShardedSharedMutex(std::string_view name,
+                                       std::size_t stripes) {
+  auto kind = RwLockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument(
+        "cna::core::ShardedSharedMutex: unknown rwlock name \"" +
+        std::string(name) + "\"");
+  }
+  impl_ = MakeRwLockTable<RealPlatform>(
       *kind, locktable::LockTableOptions{.stripes = stripes});
 }
 

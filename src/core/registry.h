@@ -15,8 +15,11 @@
 
 #include "core/any_lock.h"
 #include "core/any_lock_table.h"
+#include "core/any_rwlock.h"
+#include "core/any_rwlock_table.h"
 #include "locks/clh.h"
 #include "locks/cna.h"
+#include "locks/cna_rwlock.h"
 #include "locks/cohort.h"
 #include "locks/cst.h"
 #include "locks/hbo.h"
@@ -142,6 +145,61 @@ std::unique_ptr<AnyLockTable> MakeLockTable(
       });
 }
 
+// ---------------------------------------------------------------------------
+// Reader-writer locks: the rwlock counterpart of the machinery above.
+// ---------------------------------------------------------------------------
+
+enum class RwLockKind {
+  kCnaRw,         // per-socket reader counters + CNA writer queue
+  kCnaRwCompact,  // one 8-byte word (qrwlock layout, qspin-CNA writer path)
+};
+
+const std::vector<RwLockKind>& AllRwLockKinds();
+
+std::string_view RwLockKindName(RwLockKind kind);
+std::string_view RwLockKindDescription(RwLockKind kind);
+std::optional<RwLockKind> RwLockKindFromName(std::string_view name);
+
+// Single point of truth for the RwLockKind -> type mapping, mirroring
+// WithLockType: MakeRwLock and MakeRwLockTable are both built on it, so a new
+// rwlock kind added here is automatically constructible as a shared mutex and
+// as a sharded read-write table.
+template <typename P, typename F>
+decltype(auto) WithRwLockType(RwLockKind kind, F&& f) {
+  using namespace cna::locks;  // NOLINT(build/namespaces)
+  switch (kind) {
+    case RwLockKind::kCnaRw:
+      return f(std::type_identity<CnaRwLock<P>>{});
+    case RwLockKind::kCnaRwCompact:
+      return f(std::type_identity<CnaRwLock<P, CnaRwCompactConfig>>{});
+  }
+  throw std::invalid_argument("WithRwLockType: unknown RwLockKind");
+}
+
+// Builds a type-erased reader-writer lock of `kind` over platform P.
+template <typename P>
+std::unique_ptr<AnyRwLock> MakeRwLock(RwLockKind kind) {
+  return WithRwLockType<P>(
+      kind,
+      [name = std::string(RwLockKindName(kind))]<typename L>(
+          std::type_identity<L>) -> std::unique_ptr<AnyRwLock> {
+        return std::make_unique<RwLockAdapter<P, L>>(name);
+      });
+}
+
+// Builds a type-erased sharded read-write lock table of `kind` over P: the
+// keyed, read-mostly counterpart of MakeLockTable (src/locktable/).
+template <typename P>
+std::unique_ptr<AnyRwLockTable> MakeRwLockTable(
+    RwLockKind kind, const locktable::LockTableOptions& options) {
+  return WithRwLockType<P>(
+      kind,
+      [&options, name = std::string(RwLockKindName(kind))]<typename L>(
+          std::type_identity<L>) -> std::unique_ptr<AnyRwLockTable> {
+        return std::make_unique<RwLockTableAdapter<P, L>>(name, options);
+      });
+}
+
 // User-facing mutex over the real platform.  Satisfies the C++ Lockable
 // requirements, so std::lock_guard / std::unique_lock work directly.
 class Mutex {
@@ -189,6 +247,68 @@ class ShardedMutex {
 
  private:
   std::unique_ptr<AnyLockTable> impl_;
+};
+
+// User-facing reader-writer mutex over the real platform.  Satisfies the C++
+// SharedLockable requirements, so std::shared_lock / std::unique_lock work
+// directly on it.
+class SharedMutex {
+ public:
+  explicit SharedMutex(RwLockKind kind);
+  // Throws std::invalid_argument on an unknown rwlock name.
+  explicit SharedMutex(std::string_view name);
+
+  void lock() { impl_->Lock(); }
+  bool try_lock() { return impl_->TryLock(); }
+  void unlock() { impl_->Unlock(); }
+
+  void lock_shared() { impl_->LockShared(); }
+  bool try_lock_shared() { return impl_->TryLockShared(); }
+  void unlock_shared() { impl_->UnlockShared(); }
+
+  std::size_t state_bytes() const { return impl_->StateBytes(); }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyRwLock> impl_;
+};
+
+// User-facing sharded read-write namespace over the real platform: the keyed
+// counterpart of SharedMutex.  lock_shared(key) admits concurrent readers of
+// one stripe; lock(key) is exclusive; lock_many() takes several keys
+// exclusively in deadlock-free order.
+class ShardedSharedMutex {
+ public:
+  ShardedSharedMutex(RwLockKind kind, std::size_t stripes);
+  // Throws std::invalid_argument on an unknown rwlock name.
+  ShardedSharedMutex(std::string_view name, std::size_t stripes);
+
+  void lock(std::uint64_t key) { impl_->LockExclusive(key); }
+  bool try_lock(std::uint64_t key) { return impl_->TryLockExclusive(key); }
+  void unlock(std::uint64_t key) { impl_->UnlockExclusive(key); }
+
+  void lock_shared(std::uint64_t key) { impl_->LockShared(key); }
+  bool try_lock_shared(std::uint64_t key) {
+    return impl_->TryLockShared(key);
+  }
+  void unlock_shared(std::uint64_t key) { impl_->UnlockShared(key); }
+
+  void lock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->LockMany(keys.begin(), keys.size());
+  }
+  void unlock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->UnlockMany(keys.begin(), keys.size());
+  }
+
+  std::size_t stripes() const { return impl_->Stripes(); }
+  std::size_t stripe_of(std::uint64_t key) const {
+    return impl_->StripeOf(key);
+  }
+  std::size_t lock_state_bytes() const { return impl_->LockStateBytes(); }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyRwLockTable> impl_;
 };
 
 }  // namespace cna::core

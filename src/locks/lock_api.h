@@ -31,6 +31,23 @@ concept TryLockable = Lockable<L> && requires(L lock, typename L::Handle h) {
   { lock.TryLock(h) } -> std::convertible_to<bool>;
 };
 
+// Reader-writer locks: Lock()/Unlock() is the exclusive (writer) side, so
+// every SharedLockable is usable anywhere a plain Lockable is expected; the
+// shared (reader) side adds LockShared()/UnlockShared() over the same Handle
+// type (a handle is in one mode at a time).
+template <typename L>
+concept SharedLockable =
+    Lockable<L> && requires(L lock, typename L::Handle h) {
+      lock.LockShared(h);
+      lock.UnlockShared(h);
+    };
+
+template <typename L>
+concept SharedTryLockable =
+    SharedLockable<L> && requires(L lock, typename L::Handle h) {
+      { lock.TryLockShared(h) } -> std::convertible_to<bool>;
+    };
+
 // RAII guard: owns a handle and the critical section.
 template <Lockable L>
 class ScopedLock {
@@ -40,6 +57,23 @@ class ScopedLock {
 
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  L& lock_;
+  typename L::Handle handle_;
+};
+
+// RAII guard for the shared (reader) side of a reader-writer lock.
+template <SharedLockable L>
+class ScopedSharedLock {
+ public:
+  explicit ScopedSharedLock(L& lock) : lock_(lock) {
+    lock_.LockShared(handle_);
+  }
+  ~ScopedSharedLock() { lock_.UnlockShared(handle_); }
+
+  ScopedSharedLock(const ScopedSharedLock&) = delete;
+  ScopedSharedLock& operator=(const ScopedSharedLock&) = delete;
 
  private:
   L& lock_;

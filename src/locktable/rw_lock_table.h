@@ -1,0 +1,390 @@
+// RwLockTable<P, L>: a read-mostly lock namespace over reader-writer locks.
+//
+// The reader-writer counterpart of lock_table.h: arbitrary 64-bit keys hash
+// onto a power-of-two array of SharedLockable stripes, opening futex-style
+// namespaces whose population is read-dominated -- caches, session tables,
+// read-mostly KV.  With CnaRwLock's kCompact layout each stripe is one 8-byte
+// word (reader count + CNA-ordered writer lock), so a million-stripe
+// read-write namespace costs the same 8 MiB as the mutex table; the
+// kPerSocket layout trades that compactness for reader counters that keep
+// read acquisition socket-local.
+//
+// Surface:
+//  * LockShared/UnlockShared/TryLockShared(key)      -- reader side
+//  * LockExclusive/UnlockExclusive/TryLockExclusive(key) -- writer side
+//  * Unlock(key)      -- pthread_rwlock_unlock-style mode dispatch (the C
+//    surface): releases whichever mode this context holds the stripe in
+//  * ReadGuard / WriteGuard -- RAII single-key sections
+//  * MultiGuard       -- multi-key *exclusive* transaction in ascending
+//    stripe order (deduplicated), deadlock-free like lock_table.h's
+//  * Per-stripe read/write/writer-wait counters (table_stats.h), off by
+//    default so the fast path carries zero instrumentation.
+//
+// Handles are pooled per execution context exactly as in the mutex table
+// (handle_pool.h), one pool per mode: a context may hold a stripe in only
+// one mode at a time, but the two pools let Unlock(key) discover the mode
+// and keep misuse (unlock of an unheld stripe) a checked error.
+#ifndef CNA_LOCKTABLE_RW_LOCK_TABLE_H_
+#define CNA_LOCKTABLE_RW_LOCK_TABLE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "base/cacheline.h"
+#include "base/rng.h"
+#include "locks/lock_api.h"
+#include "locktable/handle_pool.h"
+#include "locktable/lock_table.h"  // LockTableOptions / StripePadding
+#include "locktable/table_stats.h"
+
+namespace cna::locktable {
+
+template <typename P, locks::SharedLockable L>
+class RwLockTable {
+ public:
+  using LockType = L;
+  using Handle = typename L::Handle;
+
+  static constexpr std::size_t kMaxStripes = std::size_t{1} << 30;
+  static constexpr std::size_t kInlineTxnKeys = 8;
+
+  explicit RwLockTable(LockTableOptions options = {})
+      : stripes_(std::bit_ceil(ValidatedStripes(options.stripes))),
+        mask_(stripes_ - 1),
+        stride_(options.padding == StripePadding::kCacheLine
+                    ? RoundUp(sizeof(L), kCacheLineSize)
+                    : sizeof(L)),
+        padding_(options.padding) {
+    const std::size_t align =
+        options.padding == StripePadding::kCacheLine
+            ? std::max(alignof(L), kCacheLineSize)
+            : alignof(L);
+    storage_.resize(stripes_ * stride_ + align);
+    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
+    base_ = reinterpret_cast<std::byte*>(RoundUp(raw, align));
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      new (base_ + s * stride_) L();
+    }
+    if (options.collect_stats) {
+      stats_.Enable(stripes_);
+    }
+  }
+
+  ~RwLockTable() {
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      StripeLock(s).~L();
+    }
+  }
+
+  RwLockTable(const RwLockTable&) = delete;
+  RwLockTable& operator=(const RwLockTable&) = delete;
+
+  // --- Namespace geometry (identical to LockTable) ---
+
+  std::size_t stripes() const { return stripes_; }
+  StripePadding padding() const { return padding_; }
+
+  std::size_t StripeOf(std::uint64_t key) const {
+    return static_cast<std::size_t>(SplitMix64::Mix(key)) & mask_;
+  }
+
+  std::size_t LockStateBytes() const { return stripes_ * stride_; }
+  static constexpr std::size_t PerStripeStateBytes() { return L::kStateBytes; }
+
+  L& StripeLock(std::size_t s) {
+    return *std::launder(reinterpret_cast<L*>(base_ + s * stride_));
+  }
+
+  // --- Reader side ---
+
+  void LockShared(std::uint64_t key) { LockSharedStripe(StripeOf(key)); }
+  void UnlockShared(std::uint64_t key) { UnlockSharedStripe(StripeOf(key)); }
+  bool TryLockShared(std::uint64_t key) {
+    return TryLockSharedStripe(StripeOf(key));
+  }
+
+  void LockSharedStripe(std::size_t s) {
+    Handle& h = shared_pool_.Checkout(s);
+    L& lock = StripeLock(s);
+    if (stats_.enabled()) {
+      if constexpr (locks::SharedTryLockable<L>) {
+        if (lock.TryLockShared(h)) {
+          stats_.OnReadAcquire(s, /*was_contended=*/false);
+          return;
+        }
+        lock.LockShared(h);
+        stats_.OnReadAcquire(s, /*was_contended=*/true);
+        return;
+      }
+    }
+    lock.LockShared(h);
+    stats_.OnReadAcquire(s, /*was_contended=*/false);
+  }
+
+  bool TryLockSharedStripe(std::size_t s) {
+    static_assert(locks::SharedTryLockable<L>,
+                  "TryLockShared requires a shared try-lock path");
+    Handle& h = shared_pool_.Checkout(s);
+    if (StripeLock(s).TryLockShared(h)) {
+      stats_.OnReadAcquire(s, /*was_contended=*/false);
+      return true;
+    }
+    stats_.OnTryLockFailure(s);
+    shared_pool_.Recycle(shared_pool_.Detach(s));
+    return false;
+  }
+
+  void UnlockSharedStripe(std::size_t s) {
+    auto h = shared_pool_.Detach(s);
+    StripeLock(s).UnlockShared(*h);
+    shared_pool_.Recycle(std::move(h));
+  }
+
+  // --- Writer side ---
+
+  void LockExclusive(std::uint64_t key) { LockExclusiveStripe(StripeOf(key)); }
+  void UnlockExclusive(std::uint64_t key) {
+    UnlockExclusiveStripe(StripeOf(key));
+  }
+  bool TryLockExclusive(std::uint64_t key) {
+    return TryLockExclusiveStripe(StripeOf(key));
+  }
+
+  void LockExclusiveStripe(std::size_t s) {
+    AcquireExclusiveStripe(s);
+  }
+
+  bool TryLockExclusiveStripe(std::size_t s) {
+    static_assert(locks::TryLockable<L>,
+                  "TryLockExclusive requires a try-lock path");
+    Handle& h = excl_pool_.Checkout(s);
+    if (StripeLock(s).TryLock(h)) {
+      stats_.OnWriteAcquire(s, /*waited=*/false);
+      return true;
+    }
+    stats_.OnTryLockFailure(s);
+    excl_pool_.Recycle(excl_pool_.Detach(s));
+    return false;
+  }
+
+  void UnlockExclusiveStripe(std::size_t s) {
+    auto h = excl_pool_.Detach(s);
+    StripeLock(s).Unlock(*h);
+    excl_pool_.Recycle(std::move(h));
+  }
+
+  // pthread_rwlock_unlock-style release: figures out which mode this context
+  // holds the key's stripe in.  Throws std::logic_error if it holds neither.
+  void Unlock(std::uint64_t key) {
+    const std::size_t s = StripeOf(key);
+    if (excl_pool_.HoldsInThisContext(s)) {
+      UnlockExclusiveStripe(s);
+    } else {
+      UnlockSharedStripe(s);  // Detach throws if not held in this mode either
+    }
+  }
+
+  // --- Multi-key exclusive transactions (MultiGuard, C surface) ---
+
+  std::size_t DistinctStripesInto(const std::uint64_t* keys, std::size_t count,
+                                  std::size_t* out) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = StripeOf(keys[i]);
+    }
+    std::sort(out, out + count);
+    return static_cast<std::size_t>(std::unique(out, out + count) - out);
+  }
+
+  // Exclusively locks the key set's distinct stripes in ascending order;
+  // all-or-nothing on a mid-transaction throw, like LockTable::LockKeysInto.
+  std::size_t LockKeysInto(const std::uint64_t* keys, std::size_t count,
+                           std::size_t* out) {
+    const std::size_t n = DistinctStripesInto(keys, count, out);
+    std::size_t taken = 0;
+    try {
+      for (; taken < n; ++taken) {
+        AcquireExclusiveStripe(out[taken]);
+      }
+    } catch (...) {
+      UnlockStripesN(out, taken);
+      throw;
+    }
+    return n;
+  }
+
+  void UnlockStripesN(const std::size_t* stripes, std::size_t n) {
+    for (std::size_t i = n; i-- > 0;) {
+      UnlockExclusiveStripe(stripes[i]);
+    }
+  }
+
+  // Checked release of an exclusive key set: verifies this context holds
+  // every distinct stripe exclusively before releasing any, so misuse throws
+  // std::logic_error without half-releasing the transaction.
+  void UnlockKeys(const std::uint64_t* keys, std::size_t count) {
+    if (count <= kInlineTxnKeys) {
+      std::size_t stripes[kInlineTxnKeys];
+      UnlockDistinct(stripes, DistinctStripesInto(keys, count, stripes));
+    } else {
+      std::vector<std::size_t> stripes(count);
+      stripes.resize(DistinctStripesInto(keys, count, stripes.data()));
+      UnlockDistinct(stripes.data(), stripes.size());
+    }
+  }
+
+  // --- RAII surfaces ---
+
+  class ReadGuard {
+   public:
+    ReadGuard(RwLockTable& table, std::uint64_t key)
+        : table_(table), stripe_(table.StripeOf(key)) {
+      table_.LockSharedStripe(stripe_);
+    }
+    ~ReadGuard() { table_.UnlockSharedStripe(stripe_); }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    std::size_t stripe() const { return stripe_; }
+
+   private:
+    RwLockTable& table_;
+    std::size_t stripe_;
+  };
+
+  class WriteGuard {
+   public:
+    WriteGuard(RwLockTable& table, std::uint64_t key)
+        : table_(table), stripe_(table.StripeOf(key)) {
+      table_.LockExclusiveStripe(stripe_);
+    }
+    ~WriteGuard() { table_.UnlockExclusiveStripe(stripe_); }
+
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+    std::size_t stripe() const { return stripe_; }
+
+   private:
+    RwLockTable& table_;
+    std::size_t stripe_;
+  };
+
+  // Multi-key exclusive transaction: sorted distinct stripes, heap-free up to
+  // kInlineTxnKeys keys.
+  class MultiGuard {
+   public:
+    static constexpr std::size_t kInlineKeys = kInlineTxnKeys;
+
+    MultiGuard(RwLockTable& table, std::initializer_list<std::uint64_t> keys)
+        : MultiGuard(table, keys.begin(), keys.size()) {}
+    MultiGuard(RwLockTable& table, const std::uint64_t* keys,
+               std::size_t count)
+        : table_(table) {
+      if (count <= kInlineKeys) {
+        count_ = table_.LockKeysInto(keys, count, inline_);
+      } else {
+        overflow_.resize(count);
+        count_ = table_.LockKeysInto(keys, count, overflow_.data());
+      }
+    }
+    ~MultiGuard() { table_.UnlockStripesN(data(), count_); }
+
+    MultiGuard(const MultiGuard&) = delete;
+    MultiGuard& operator=(const MultiGuard&) = delete;
+
+    std::vector<std::size_t> stripes() const {
+      return std::vector<std::size_t>(data(), data() + count_);
+    }
+    std::size_t size() const { return count_; }
+
+   private:
+    const std::size_t* data() const {
+      return overflow_.empty() ? inline_ : overflow_.data();
+    }
+
+    RwLockTable& table_;
+    std::size_t inline_[kInlineKeys];
+    std::vector<std::size_t> overflow_;
+    std::size_t count_ = 0;
+  };
+
+  // --- Statistics / diagnostics ---
+
+  bool stats_enabled() const { return stats_.enabled(); }
+  RwTableStatsSummary StatsSummary() const { return stats_.Summarize(); }
+  const RwStripeCounters* StripeStats(std::size_t s) const {
+    return stats_.stripe(s);
+  }
+
+  std::size_t SharedHeldByThisContext() const {
+    return shared_pool_.ActiveInThisContext();
+  }
+  std::size_t ExclusiveHeldByThisContext() const {
+    return excl_pool_.ActiveInThisContext();
+  }
+
+ private:
+  static std::size_t ValidatedStripes(std::size_t v) {
+    if (v > kMaxStripes) {
+      throw std::length_error(
+          "locktable::RwLockTable: stripe count too large");
+    }
+    return v == 0 ? 1 : v;
+  }
+  static constexpr std::uint64_t RoundUp(std::uint64_t v, std::size_t unit) {
+    return (v + unit - 1) / unit * unit;
+  }
+
+  void UnlockDistinct(const std::size_t* stripes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!excl_pool_.HoldsInThisContext(stripes[i])) {
+        throw std::logic_error(
+            "locktable::RwLockTable: UnlockKeys of a stripe this context "
+            "does not hold exclusively");
+      }
+    }
+    UnlockStripesN(stripes, n);
+  }
+
+  void AcquireExclusiveStripe(std::size_t s) {
+    Handle& h = excl_pool_.Checkout(s);
+    L& lock = StripeLock(s);
+    if (stats_.enabled()) {
+      // Probe so writer waits (readers to drain, or another writer) are
+      // observable; the stats-off path below is the undisturbed acquisition.
+      if constexpr (locks::TryLockable<L>) {
+        if (lock.TryLock(h)) {
+          stats_.OnWriteAcquire(s, /*waited=*/false);
+          return;
+        }
+        lock.Lock(h);
+        stats_.OnWriteAcquire(s, /*waited=*/true);
+        return;
+      }
+    }
+    lock.Lock(h);
+    stats_.OnWriteAcquire(s, /*waited=*/false);
+  }
+
+  std::size_t stripes_;
+  std::size_t mask_;
+  std::size_t stride_;
+  StripePadding padding_;
+  std::vector<std::byte> storage_;
+  std::byte* base_ = nullptr;
+  HandlePool<P, L> shared_pool_;
+  HandlePool<P, L> excl_pool_;
+  RwTableStats stats_;
+};
+
+}  // namespace cna::locktable
+
+#endif  // CNA_LOCKTABLE_RW_LOCK_TABLE_H_

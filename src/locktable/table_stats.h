@@ -134,6 +134,129 @@ class TableStats {
   std::unique_ptr<StripeCounters[]> cells_;
 };
 
+// ---------------------------------------------------------------------------
+// Reader-writer variant (rw_lock_table.h): per-stripe read/write acquisition
+// and writer-wait counters.  Same conventions as above: plain std::atomic
+// cells, allocated only when stats are requested, no-ops otherwise.
+// ---------------------------------------------------------------------------
+
+struct alignas(64) RwStripeCounters {
+  // Successful shared (read) and exclusive (write) acquisitions.
+  std::atomic<std::uint64_t> read_acquisitions{0};
+  std::atomic<std::uint64_t> write_acquisitions{0};
+  // Read acquisitions whose try-probe failed (a writer held or was waiting on
+  // the stripe; a lower bound on true read-side blocking).
+  std::atomic<std::uint64_t> read_contended{0};
+  // Write acquisitions whose try-probe failed -- the writer had to wait for
+  // readers to drain or for another writer (the "writer-wait" counter).
+  std::atomic<std::uint64_t> writer_waits{0};
+  // TryLockShared/TryLockExclusive calls that returned false to the caller.
+  std::atomic<std::uint64_t> trylock_failures{0};
+};
+
+struct RwTableStatsSummary {
+  std::uint64_t read_acquisitions = 0;
+  std::uint64_t write_acquisitions = 0;
+  std::uint64_t read_contended = 0;
+  std::uint64_t writer_waits = 0;
+  std::uint64_t trylock_failures = 0;
+
+  std::size_t stripes = 0;
+  std::size_t occupied_stripes = 0;  // stripes with >= 1 acquisition
+  std::uint64_t max_stripe_acquisitions = 0;
+
+  std::uint64_t TotalAcquisitions() const {
+    return read_acquisitions + write_acquisitions;
+  }
+  // Fraction of acquisitions that were reads -- the "read-mostly" dial.
+  double ReadShare() const {
+    const std::uint64_t total = TotalAcquisitions();
+    return total == 0 ? 0.0
+                      : static_cast<double>(read_acquisitions) /
+                            static_cast<double>(total);
+  }
+  double WriterWaitRate() const {
+    return write_acquisitions == 0
+               ? 0.0
+               : static_cast<double>(writer_waits) /
+                     static_cast<double>(write_acquisitions);
+  }
+};
+
+class RwTableStats {
+ public:
+  RwTableStats() = default;
+
+  void Enable(std::size_t stripes) {
+    stripes_ = stripes;
+    cells_ = std::make_unique<RwStripeCounters[]>(stripes);
+  }
+
+  bool enabled() const { return cells_ != nullptr; }
+
+  void OnReadAcquire(std::size_t stripe, bool was_contended) {
+    if (cells_ == nullptr) {
+      return;
+    }
+    RwStripeCounters& c = cells_[stripe];
+    c.read_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (was_contended) {
+      c.read_contended.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void OnWriteAcquire(std::size_t stripe, bool waited) {
+    if (cells_ == nullptr) {
+      return;
+    }
+    RwStripeCounters& c = cells_[stripe];
+    c.write_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (waited) {
+      c.writer_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void OnTryLockFailure(std::size_t stripe) {
+    if (cells_ != nullptr) {
+      cells_[stripe].trylock_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const RwStripeCounters* stripe(std::size_t s) const {
+    return cells_ == nullptr ? nullptr : &cells_[s];
+  }
+
+  RwTableStatsSummary Summarize() const {
+    RwTableStatsSummary out;
+    out.stripes = stripes_;
+    for (std::size_t s = 0; cells_ != nullptr && s < stripes_; ++s) {
+      const std::uint64_t reads =
+          cells_[s].read_acquisitions.load(std::memory_order_relaxed);
+      const std::uint64_t writes =
+          cells_[s].write_acquisitions.load(std::memory_order_relaxed);
+      out.read_acquisitions += reads;
+      out.write_acquisitions += writes;
+      out.read_contended +=
+          cells_[s].read_contended.load(std::memory_order_relaxed);
+      out.writer_waits +=
+          cells_[s].writer_waits.load(std::memory_order_relaxed);
+      out.trylock_failures +=
+          cells_[s].trylock_failures.load(std::memory_order_relaxed);
+      if (reads + writes > 0) {
+        ++out.occupied_stripes;
+      }
+      if (reads + writes > out.max_stripe_acquisitions) {
+        out.max_stripe_acquisitions = reads + writes;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t stripes_ = 0;
+  std::unique_ptr<RwStripeCounters[]> cells_;
+};
+
 }  // namespace cna::locktable
 
 #endif  // CNA_LOCKTABLE_TABLE_STATS_H_

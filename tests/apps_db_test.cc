@@ -199,5 +199,80 @@ TEST(MiniKyoto, GetOnEmptyAndRemoveOnMissing) {
   EXPECT_FALSE(db.RemoveLocked(42));
 }
 
+// ---------- MiniLevelDb cache shards on the reader-writer lock table ----------
+
+// The cache-shard path moved from LockTable::Guard (every lookup exclusive)
+// to RwLockTable::ReadGuard for lookups + WriteGuard for mutations.  Observable
+// behavior must be unchanged: Get() results, snapshot refcounts, and the
+// per-shard capacity bound.
+
+TEST(MiniLevelDbRwCache, GetResultsUnchangedAcrossHitsAndMisses) {
+  using Db = apps::MiniLevelDb<RealPlatform, RealCna>;
+  Db db(SmallDb(5'000));
+  // First pass populates the cache (misses -> WriteGuard inserts); second
+  // pass hits (ReadGuard-only path).  Values must be identical both times.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t k : {0ull, 7ull, 999ull, 4'999ull}) {
+      const auto v = db.Get(k);
+      ASSERT_TRUE(v.has_value()) << "pass " << pass << " key " << k;
+      EXPECT_EQ(*v, Db::MixValue(k));
+    }
+  }
+  EXPECT_EQ(db.version_refs(), 0u);
+}
+
+TEST(MiniLevelDbRwCache, CapacityBoundHoldsWithSecondChanceEviction) {
+  apps::MiniLevelDbOptions o;
+  o.prefill_keys = 50'000;
+  o.cache_shards = 4;
+  o.cache_capacity_per_shard = 16;
+  apps::MiniLevelDb<RealPlatform, RealCna> db(o);
+  XorShift64 rng = XorShift64::FromSeed(21);
+  for (int i = 0; i < 4'000; ++i) {
+    (void)db.ReadRandomOp(rng);
+  }
+  for (std::size_t s = 0; s < db.cache_shard_locks().stripes(); ++s) {
+    EXPECT_LE(db.CacheShardSize(s), o.cache_capacity_per_shard) << s;
+  }
+}
+
+TEST(MiniLevelDbRwCache, CacheLookupsAreReadDominated) {
+  apps::MiniLevelDbOptions o;
+  o.prefill_keys = 256;  // small key space: the cache converges to all-hits
+  o.cache_capacity_per_shard = 64;
+  o.cache_stats = true;
+  apps::MiniLevelDb<RealPlatform, RealCna> db(o);
+  XorShift64 rng = XorShift64::FromSeed(5);
+  for (int i = 0; i < 5'000; ++i) {
+    (void)db.ReadRandomOp(rng);
+  }
+  const auto s = db.cache_shard_locks().StatsSummary();
+  // Every lookup takes the stripe shared; only the initial misses (bounded by
+  // the key space) took it exclusively.
+  EXPECT_GE(s.read_acquisitions, 5'000u);
+  EXPECT_LE(s.write_acquisitions, 256u);
+  EXPECT_GT(s.ReadShare(), 0.9);
+}
+
+TEST(MiniLevelDbRwCache, ConcurrentFibersStillConsistent) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  sim::Machine m(cfg);
+  using Db = apps::MiniLevelDb<SimPlatform, locks::CnaLock<SimPlatform>>;
+  Db db(SmallDb(2'000));
+  int misses = 0;
+  for (int t = 0; t < 8; ++t) {
+    m.Spawn([&, t] {
+      XorShift64 rng = XorShift64::FromSeed(30 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 120; ++i) {
+        misses += db.ReadRandomOp(rng).has_value() ? 0 : 1;
+      }
+    });
+  }
+  m.Run();
+  EXPECT_EQ(misses, 0);
+  EXPECT_EQ(db.version_refs(), 0u);
+}
+
 }  // namespace
 }  // namespace cna
