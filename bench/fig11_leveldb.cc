@@ -7,6 +7,11 @@
 //   (b) empty DB: no search work, the global lock is pounded -- same shape
 //       as the no-external-work microbenchmark (Figure 6); the shuffle-
 //       reduction variant helps at low thread counts.
+//
+// The swept lock kind L guards the *global DB lock* only.  Since PR 2 the
+// LRU cache-shard path runs on a fixed compact CnaRwLock table (lookups in
+// shared mode), identical across all swept kinds -- so the curves isolate
+// the global-lock effect rather than mixing in shard-lock differences.
 #include <memory>
 
 #include "apps/mini_leveldb.h"

@@ -23,6 +23,7 @@
 // Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
 #include <pthread.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -66,7 +67,9 @@ auto MakeOp(int read_pct, int t, ReadCs read_cs, WriteCs write_cs) {
   };
 }
 
-volatile std::uint64_t g_sink;  // defeats dead-read elimination
+// Defeats dead-read elimination; relaxed atomic because concurrent readers
+// of one lock store to it simultaneously (a plain global would be a race).
+std::atomic<std::uint64_t> g_sink{0};
 
 double RunPthreadRwLock(int threads, std::chrono::nanoseconds window,
                         int read_pct) {
@@ -78,7 +81,7 @@ double RunPthreadRwLock(int threads, std::chrono::nanoseconds window,
             read_pct, t,
             [rw](std::uint64_t key) {
               pthread_rwlock_rdlock(rw.get());
-              g_sink = Values()[key];
+              g_sink.store(Values()[key], std::memory_order_relaxed);
               pthread_rwlock_unlock(rw.get());
             },
             [rw](std::uint64_t key) {
@@ -102,7 +105,7 @@ double RunCnaRwLock(int threads, std::chrono::nanoseconds window,
             [rw](std::uint64_t key) {
               typename Rw::Handle h;
               rw->LockShared(h);
-              g_sink = Values()[key];
+              g_sink.store(Values()[key], std::memory_order_relaxed);
               rw->UnlockShared(h);
             },
             [rw](std::uint64_t key) {
@@ -128,7 +131,7 @@ double RunRwTable(int threads, std::chrono::nanoseconds window, int read_pct,
             read_pct, t,
             [table](std::uint64_t key) {
               table->LockShared(key);
-              g_sink = Values()[key];
+              g_sink.store(Values()[key], std::memory_order_relaxed);
               table->UnlockShared(key);
             },
             [table](std::uint64_t key) {
