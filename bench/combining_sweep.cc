@@ -1,0 +1,248 @@
+// Flat-combining sweep: threads x stripe skew x {plain LockTable,
+// CombiningTable}, on the simulated 2-socket machine (the repo's canonical
+// instrument) and on real OS threads.
+//
+// Both tables serve the same keyed workload -- a small-object update whose
+// critical section touches kCsLines cache lines -- under two key
+// distributions:
+//   * uniform        -- keys spread over the whole namespace, stripes mostly
+//     uncontended: the combining layer must ride its try-lock fast path and
+//     stay within noise of the plain table (Fissile-style composition: an
+//     uncontended stripe pays one publication-list load);
+//   * 90%-hot-stripe -- 90% of ops on one key, i.e. one hot stripe: the
+//     plain table hands the stripe from waiter to waiter, dragging every
+//     critical-section line through a different core each op, while the
+//     combining table executes the backlog on one core and moves only the
+//     one-line records.
+//
+// The simulated sweep runs each table over MCS (one-word, NUMA-oblivious --
+// the qspinlock-shaped baseline) and over CNA.  The interesting contrasts:
+//   * MCS-combining vs MCS-plain is the headline: combining confines the hot
+//     object to the combiner's cache, so it wins throughput at every
+//     contended thread count *and keeps the fairness factor at ~0.5*.
+//   * CNA-plain posts the highest hot-stripe number in this window by
+//     keeping the lock inside one socket essentially forever (fairness
+//     factor -> 1.0, remote misses ~0): the paper's own
+//     throughput-vs-fairness trade at its extreme.  Combining serves both
+//     sockets' records every batch, so it pays cross-socket record traffic
+//     CNA simply refuses to pay -- compare the fairness column before
+//     comparing the throughput columns.
+//
+// The stats pass ties the win to the counters: the hot run's per-stripe
+// contention identifies where batching pays, and the combined/pass-through
+// split shows the combiner absorbing exactly that traffic.
+//
+// Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "apps/sharded_kv.h"
+#include "bench_common.h"
+#include "locktable/combining.h"
+#include "locktable/lock_table.h"
+#include "platform/real_platform.h"
+
+namespace {
+
+using namespace cna;
+using namespace cna::bench;
+
+constexpr std::uint64_t kKeyRange = 1 << 14;
+constexpr std::size_t kStripes = 256;
+constexpr int kHotPct = 90;
+// Lines the critical section touches: a small structure update (value,
+// aggregate, bookkeeping), the regime flat combining exists for.
+constexpr int kCsLines = 4;
+constexpr std::uint64_t kObjBase = 1ull << 35;
+
+// --- Simulated 2-socket machine ---
+
+struct SimPointResult {
+  double throughput = 0.0;
+  double fairness = 0.5;
+};
+
+template <typename L, bool kCombining>
+SimPointResult SimPoint(int threads, std::uint64_t window_ns, int hot_pct) {
+  using Table =
+      std::conditional_t<kCombining, locktable::CombiningTable<SimPlatform, L>,
+                         locktable::LockTable<SimPlatform, L>>;
+  struct State {
+    Table table{{.stripes = kStripes}};
+    std::vector<std::uint64_t> values =
+        std::vector<std::uint64_t>(kKeyRange, 0);
+  };
+  auto st = std::make_shared<State>();
+  auto r = harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns,
+      [st, hot_pct](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0xba7c + static_cast<std::uint64_t>(t));
+        return [st, rng, hot_pct]() mutable {
+          const bool hot = static_cast<int>(rng.NextBelow(100)) < hot_pct;
+          const std::uint64_t key = hot ? 0 : rng.NextBelow(kKeyRange);
+          auto body = [st, key] {
+            SimPlatform::ExternalWork(50);
+            for (int i = 0; i < kCsLines; ++i) {
+              SimPlatform::OnDataAccess(
+                  kObjBase + key * kCsLines + static_cast<std::uint64_t>(i),
+                  /*write=*/true);
+            }
+            st->values[key]++;
+          };
+          if constexpr (kCombining) {
+            st->table.Apply(key, body);
+          } else {
+            typename Table::Guard guard(st->table, key);
+            body();
+          }
+        };
+      });
+  return {r.throughput_mops, r.fairness};
+}
+
+void SimSweep(const std::vector<int>& thread_ladder,
+              std::uint64_t window_ns) {
+  const std::vector<std::string> variants = {"MCS-plain", "MCS-combining",
+                                             "CNA-plain", "CNA-combining"};
+  for (int hot_pct : {0, kHotPct}) {
+    const std::string workload =
+        hot_pct == 0 ? "uniform keys" : "90%-hot-stripe keys";
+    harness::SeriesTable throughput(
+        "Combining sweep (simulated 2-socket): throughput (ops/us) vs "
+        "threads, " + std::to_string(kStripes) + " stripes, " + workload,
+        "threads", variants);
+    harness::SeriesTable fairness(
+        "Combining sweep (simulated 2-socket): fairness factor vs threads, " +
+            workload + " (0.5 = fair; CNA trades fairness for locality)",
+        "threads", variants);
+    for (int threads : thread_ladder) {
+      const auto mp = SimPoint<Mcs, false>(threads, window_ns, hot_pct);
+      const auto mc = SimPoint<Mcs, true>(threads, window_ns, hot_pct);
+      const auto cp = SimPoint<Cna, false>(threads, window_ns, hot_pct);
+      const auto cc = SimPoint<Cna, true>(threads, window_ns, hot_pct);
+      throughput.AddRow(threads, {mp.throughput, mc.throughput,
+                                  cp.throughput, cc.throughput});
+      fairness.AddRow(threads,
+                      {mp.fairness, mc.fairness, cp.fairness, cc.fairness});
+    }
+    throughput.Emit();
+    if (hot_pct == kHotPct) {
+      fairness.Emit();
+    }
+  }
+}
+
+// Stats pass: tie the combining win back to the contention counters, via the
+// CombiningShardedKv substrate with both counter families enabled.
+void StatsPass(int threads, std::uint64_t window_ns) {
+  apps::CombiningShardedKvOptions o;
+  o.key_range = kKeyRange;
+  o.lock_stripes = kStripes;
+  o.hot_pct = kHotPct;
+  o.hot_key = 0;
+  o.cs_compute_ns = 50;
+  o.collect_stats = true;
+  auto kv = std::make_shared<apps::CombiningShardedKv<SimPlatform, Cna>>(o);
+  auto result = harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns, [kv](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0xba7c + static_cast<std::uint64_t>(t));
+        return [kv, rng]() mutable { kv->HotOp(rng); };
+      });
+  const auto lock_stats = kv->table().StatsSummary();
+  const auto comb = kv->table().CombiningSummary();
+  std::printf(
+      "\nWhere the counters say combining pays (sim, %d threads, %d%% hot "
+      "stripe):\n"
+      "  lock stripes: hottest stripe %llu of %llu acquisitions "
+      "(%.1f%% of the namespace touched)\n"
+      "  combining:    %llu ops combined vs %llu pass-through "
+      "(%.1f%% combined, mean batch %.1f, %llu budget cutoffs)\n",
+      result.threads, kHotPct,
+      static_cast<unsigned long long>(lock_stats.max_stripe_acquisitions),
+      static_cast<unsigned long long>(lock_stats.total_acquisitions),
+      100.0 * lock_stats.Occupancy(),
+      static_cast<unsigned long long>(comb.combined),
+      static_cast<unsigned long long>(comb.pass_through),
+      100.0 * comb.CombinedShare(), comb.MeanBatchSize(),
+      static_cast<unsigned long long>(comb.budget_cutoffs));
+}
+
+// --- Real OS threads (CNA-backed tables, KV substrate) ---
+
+double RealPlainPoint(int threads, std::chrono::nanoseconds window,
+                      int hot_pct) {
+  apps::ShardedKvOptions o;
+  o.key_range = kKeyRange;
+  o.lock_stripes = kStripes;
+  o.cs_compute_ns = 50;
+  auto kv = std::make_shared<
+      apps::ShardedKv<RealPlatform, locks::CnaLock<RealPlatform>>>(o);
+  return harness::RunOnThreads(
+             threads, window, /*virtual_sockets=*/2,
+             [kv, hot_pct](int t) {
+               XorShift64 rng = XorShift64::FromSeed(
+                   0x5eed + static_cast<std::uint64_t>(t));
+               return [kv, rng, hot_pct]() mutable {
+                 const bool hot =
+                     static_cast<int>(rng.NextBelow(100)) < hot_pct;
+                 kv->Add(hot ? 0 : rng.NextBelow(kKeyRange), 1);
+               };
+             })
+      .throughput_mops;
+}
+
+double RealCombiningPoint(int threads, std::chrono::nanoseconds window,
+                          int hot_pct) {
+  apps::CombiningShardedKvOptions o;
+  o.key_range = kKeyRange;
+  o.lock_stripes = kStripes;
+  o.hot_pct = hot_pct;
+  o.cs_compute_ns = 50;
+  auto kv = std::make_shared<
+      apps::CombiningShardedKv<RealPlatform, locks::CnaLock<RealPlatform>>>(o);
+  return harness::RunOnThreads(threads, window, /*virtual_sockets=*/2,
+                               [kv](int t) {
+                                 XorShift64 rng = XorShift64::FromSeed(
+                                     0x5eed + static_cast<std::uint64_t>(t));
+                                 return
+                                     [kv, rng]() mutable { kv->HotOp(rng); };
+                               })
+      .throughput_mops;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t sim_window = harness::BenchWindowNs(2'000'000);
+  const auto real_window =
+      std::chrono::nanoseconds(harness::BenchWindowNs(50'000'000));
+  const std::vector<int> thread_ladder =
+      harness::ClipThreads({1, 2, 4, 8, 16});
+
+  SimSweep(thread_ladder, sim_window);
+
+  harness::SeriesTable real_table(
+      "Combining sweep (real threads, 2 virtual sockets, CNA-backed "
+      "tables): throughput (ops/us) vs threads",
+      "threads",
+      {"LockTable-uniform", "Combining-uniform", "LockTable-hot90",
+       "Combining-hot90"});
+  for (int threads : thread_ladder) {
+    real_table.AddRow(
+        threads,
+        {RealPlainPoint(threads, real_window, /*hot_pct=*/0),
+         RealCombiningPoint(threads, real_window, /*hot_pct=*/0),
+         RealPlainPoint(threads, real_window, kHotPct),
+         RealCombiningPoint(threads, real_window, kHotPct)});
+  }
+  real_table.Emit();
+
+  StatsPass(thread_ladder.back(), sim_window);
+  return 0;
+}

@@ -24,6 +24,7 @@
 
 #include "base/rng.h"
 #include "locks/lock_api.h"
+#include "locktable/combining.h"
 #include "locktable/lock_table.h"
 #include "locktable/rw_lock_table.h"
 
@@ -248,6 +249,125 @@ class RwShardedKv {
   static constexpr std::uint64_t kValueRegionBase = 1ull << 35;
 
   RwShardedKvOptions options_;
+  Table table_;
+  std::vector<std::uint64_t> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Combining mode: the same direct-mapped store served through a
+// locktable::CombiningTable, so an operation that misses the stripe fast
+// path is published as a closure and executed by the stripe's current
+// combiner.  This is the workload flat combining exists for: a skewed key
+// distribution concentrates operations on a few hot stripes, where batching
+// replaces per-op lock handovers -- bench/combining_sweep.cc sweeps exactly
+// that against the plain ShardedKv.
+// ---------------------------------------------------------------------------
+
+struct CombiningShardedKvOptions {
+  std::uint64_t key_range = 1 << 16;
+  std::size_t lock_stripes = 1024;
+  locktable::StripePadding padding = locktable::StripePadding::kCompact;
+  bool collect_stats = false;
+  std::size_t combining_budget = 64;
+  // HotOp distribution: hot_pct percent of operations hit `hot_key` (one hot
+  // stripe); the rest spread uniformly over key_range.
+  int hot_pct = 90;
+  std::uint64_t hot_key = 0;
+  // Instruction-execution cost charged inside each critical section.
+  std::uint64_t cs_compute_ns = 50;
+};
+
+template <typename P, locks::TryLockable L>
+class CombiningShardedKv {
+ public:
+  using Table = locktable::CombiningTable<P, L>;
+
+  explicit CombiningShardedKv(CombiningShardedKvOptions options)
+      : options_(options),
+        table_({.stripes = options.lock_stripes,
+                .padding = options.padding,
+                .collect_stats = options.collect_stats,
+                .combining_budget = options.combining_budget}),
+        values_(options.key_range, 0) {}
+
+  CombiningShardedKv(const CombiningShardedKv&) = delete;
+  CombiningShardedKv& operator=(const CombiningShardedKv&) = delete;
+
+  // Lookup through the combining layer: the read executes under the stripe
+  // (on whichever context combines it) and is copied out through the
+  // closure.
+  std::optional<std::uint64_t> Get(std::uint64_t key) {
+    std::uint64_t v = 0;
+    table_.Apply(key, [this, key, &v] {
+      P::ExternalWork(options_.cs_compute_ns);
+      v = LoadSlot(key);
+    });
+    if (v == 0) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  void Put(std::uint64_t key, std::uint64_t value) {
+    table_.Apply(key, [this, key, value] {
+      P::ExternalWork(options_.cs_compute_ns);
+      StoreSlot(key, value);
+    });
+  }
+
+  // Read-modify-write published as one closure; a lost update (two
+  // increments racing) shows up immediately in the stress tests.
+  void Add(std::uint64_t key, std::uint64_t delta) {
+    table_.Apply(key, [this, key, delta] {
+      P::ExternalWork(options_.cs_compute_ns);
+      StoreSlot(key, LoadSlot(key) + delta);
+    });
+  }
+
+  // Batched multi-key increment: one stripe acquisition per distinct stripe.
+  void AddBatch(const std::uint64_t* keys, std::size_t count,
+                std::uint64_t delta) {
+    table_.ApplyBatch(keys, count, [this, delta](std::uint64_t key) {
+      P::ExternalWork(options_.cs_compute_ns);
+      StoreSlot(key, LoadSlot(key) + delta);
+    });
+  }
+
+  // One benchmark operation over the skewed distribution: an Add on the hot
+  // key with probability hot_pct, else on a uniform key.
+  void HotOp(XorShift64& rng) {
+    const bool hot = static_cast<int>(rng.NextBelow(100)) < options_.hot_pct;
+    const std::uint64_t key =
+        hot ? options_.hot_key : rng.NextBelow(options_.key_range);
+    Add(key, 1);
+  }
+
+  // Unsynchronized sum over all slots; call only when no worker is running.
+  std::uint64_t TotalValue() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  Table& table() { return table_; }
+  const CombiningShardedKvOptions& options() const { return options_; }
+
+ private:
+  static constexpr std::uint64_t kValueRegionBase = 1ull << 35;
+
+  std::uint64_t LoadSlot(std::uint64_t key) {
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/false);
+    return values_[key];
+  }
+
+  void StoreSlot(std::uint64_t key, std::uint64_t v) {
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/true);
+    values_[key] = v;
+  }
+
+  CombiningShardedKvOptions options_;
   Table table_;
   std::vector<std::uint64_t> values_;
 };

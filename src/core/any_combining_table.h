@@ -1,0 +1,98 @@
+// Type-erased flat-combining table: one runtime-selectable handle over
+// locktable::CombiningTable instantiated with any try-lockable algorithm in
+// src/locks/.
+//
+// Mirrors core/any_lock_table.h: AnyLockTable erases a keyed lock namespace
+// behind a futex-style shape; AnyCombiningTable erases a keyed *execution*
+// namespace -- closures in, exactly-once application out -- so the registry
+// and the C API can hand out combining tables by lock name.  Closures cross
+// the virtual (and C) boundary as a context pointer plus a function pointer,
+// the only closure shape C can express.
+#ifndef CNA_CORE_ANY_COMBINING_TABLE_H_
+#define CNA_CORE_ANY_COMBINING_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "locks/lock_api.h"
+#include "locktable/combining.h"
+
+namespace cna::core {
+
+// Abstract keyed combining namespace.  Apply executes fn(ctx) under key's
+// stripe -- possibly on another thread acting as combiner -- and returns
+// after it ran exactly once.  Lock/Unlock open a plain critical section that
+// coexists with Apply users (Unlock drains the publication list first).
+class AnyCombiningTable {
+ public:
+  virtual ~AnyCombiningTable() = default;
+
+  virtual void Apply(std::uint64_t key, void (*fn)(void*), void* ctx) = 0;
+  virtual void ApplyBatch(const std::uint64_t* keys, std::size_t count,
+                          void (*fn)(void*, std::uint64_t), void* ctx) = 0;
+
+  virtual void Lock(std::uint64_t key) = 0;
+  virtual void Unlock(std::uint64_t key) = 0;
+
+  virtual std::size_t Stripes() const = 0;
+  virtual std::size_t StripeOf(std::uint64_t key) const = 0;
+  virtual std::size_t LockStateBytes() const = 0;
+  virtual std::size_t PerStripeStateBytes() const = 0;
+  virtual std::size_t CombiningBudget() const = 0;
+
+  // Aggregate combining counters (zero when stats were not requested).
+  virtual locktable::CombiningStatsSummary CombiningSummary() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+template <typename P, locks::TryLockable L>
+class CombiningTableAdapter final : public AnyCombiningTable {
+ public:
+  CombiningTableAdapter(std::string name,
+                        locktable::CombiningTableOptions options)
+      : table_(options), name_(std::move(name)) {}
+
+  void Apply(std::uint64_t key, void (*fn)(void*), void* ctx) override {
+    table_.Apply(key, [fn, ctx] { fn(ctx); });
+  }
+
+  void ApplyBatch(const std::uint64_t* keys, std::size_t count,
+                  void (*fn)(void*, std::uint64_t), void* ctx) override {
+    table_.ApplyBatch(keys, count,
+                      [fn, ctx](std::uint64_t key) { fn(ctx, key); });
+  }
+
+  void Lock(std::uint64_t key) override { table_.Lock(key); }
+  void Unlock(std::uint64_t key) override { table_.Unlock(key); }
+
+  std::size_t Stripes() const override { return table_.stripes(); }
+  std::size_t StripeOf(std::uint64_t key) const override {
+    return table_.StripeOf(key);
+  }
+  std::size_t LockStateBytes() const override {
+    return table_.LockStateBytes();
+  }
+  std::size_t PerStripeStateBytes() const override { return L::kStateBytes; }
+  std::size_t CombiningBudget() const override {
+    return table_.combining_budget();
+  }
+
+  locktable::CombiningStatsSummary CombiningSummary() const override {
+    return table_.CombiningSummary();
+  }
+
+  std::string Name() const override { return name_; }
+
+  locktable::CombiningTable<P, L>& table() { return table_; }
+
+ private:
+  locktable::CombiningTable<P, L> table_;
+  std::string name_;
+};
+
+}  // namespace cna::core
+
+#endif  // CNA_CORE_ANY_COMBINING_TABLE_H_

@@ -25,6 +25,14 @@ struct cna_locktable {
   std::unique_ptr<cna::core::AnyLockTable> impl;
 };
 
+struct cna_combining {
+  cna_combining(cna::core::LockKind kind, size_t stripes)
+      : impl(cna::core::MakeCombiningTable<cna::RealPlatform>(
+            kind, cna::locktable::CombiningTableOptions{
+                      .stripes = stripes, .collect_stats = true})) {}
+  std::unique_ptr<cna::core::AnyCombiningTable> impl;
+};
+
 struct cna_rwlock {
   explicit cna_rwlock(cna::core::RwLockKind kind)
       : impl(cna::core::MakeRwLock<cna::RealPlatform>(kind)) {}
@@ -211,6 +219,102 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key) {
 
 size_t cna_locktable_state_bytes(const cna_locktable_t* table) {
   return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+// ----------------------------- combining table -----------------------------
+
+cna_combining_t* cna_combining_create(const char* lock_name, size_t stripes) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value() ||
+      !cna::core::SupportsCombining<cna::RealPlatform>(*kind)) {
+    return nullptr;
+  }
+  // bad_alloc and length_error surface as nullptr rather than crossing
+  // extern "C".
+  try {
+    return new (std::nothrow) cna_combining(*kind, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_combining_t* cna_combining_create_default(size_t stripes) {
+  try {
+    return new (std::nothrow)
+        cna_combining(cna::core::LockKind::kCna, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_combining_destroy(cna_combining_t* table) { delete table; }
+
+int cna_combining_apply(cna_combining_t* table, uint64_t key,
+                        cna_combining_fn fn, void* ctx) {
+  if (table == nullptr || fn == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->Apply(key, fn, ctx);
+    return 0;
+  });
+}
+
+int cna_combining_apply_batch(cna_combining_t* table, const uint64_t* keys,
+                              size_t count, cna_combining_key_fn fn,
+                              void* ctx) {
+  if (table == nullptr || fn == nullptr ||
+      (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->ApplyBatch(keys, count, fn, ctx);
+    return 0;
+  });
+}
+
+int cna_combining_lock(cna_combining_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->Lock(key);
+    return 0;
+  });
+}
+
+int cna_combining_unlock(cna_combining_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  // EPERM when this thread does not hold the key's stripe.
+  return GuardedCall([&] {
+    table->impl->Unlock(key);
+    return 0;
+  });
+}
+
+size_t cna_combining_stripes(const cna_combining_t* table) {
+  return table == nullptr ? 0 : table->impl->Stripes();
+}
+
+size_t cna_combining_stripe_of(const cna_combining_t* table, uint64_t key) {
+  return table == nullptr ? 0 : table->impl->StripeOf(key);
+}
+
+size_t cna_combining_state_bytes(const cna_combining_t* table) {
+  return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+uint64_t cna_combining_pass_through_ops(const cna_combining_t* table) {
+  return table == nullptr ? 0 : table->impl->CombiningSummary().pass_through;
+}
+
+uint64_t cna_combining_combined_ops(const cna_combining_t* table) {
+  return table == nullptr ? 0 : table->impl->CombiningSummary().combined;
 }
 
 // --------------------------- reader-writer lock ----------------------------

@@ -78,6 +78,57 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key);
 size_t cna_locktable_state_bytes(const cna_locktable_t* table);
 
 // ---------------------------------------------------------------------------
+// Flat-combining table (src/locktable/combining.h): batch execution over the
+// lock-table stripes.  cna_combining_apply runs fn(ctx) under the key's
+// stripe -- possibly on another thread currently acting as the stripe's
+// combiner -- and returns after it ran exactly once; its side effects are
+// visible to the caller on return.  fn must not re-enter the same table on
+// the same key's stripe and must not longjmp/throw.  Combining tables are
+// created with the per-stripe combined/pass-through counters enabled.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_combining cna_combining_t;
+
+typedef void (*cna_combining_fn)(void* ctx);
+typedef void (*cna_combining_key_fn)(void* ctx, uint64_t key);
+
+// Creates a combining table of `stripes` locks of the named kind.  Returns
+// nullptr if the name is unknown or the lock has no try-lock path (flat
+// combining needs the stripe fast path).
+cna_combining_t* cna_combining_create(const char* lock_name, size_t stripes);
+
+// Creates a combining table backed by the default lock (CNA).
+cna_combining_t* cna_combining_create_default(size_t stripes);
+
+void cna_combining_destroy(cna_combining_t* table);
+
+// Returns 0 on success (fn ran exactly once), EINVAL on bad arguments.
+int cna_combining_apply(cna_combining_t* table, uint64_t key,
+                        cna_combining_fn fn, void* ctx);
+
+// Runs fn(ctx, key) for every key (duplicates included), grouped so each
+// distinct stripe is acquired once.  Not atomic across stripes.
+int cna_combining_apply_batch(cna_combining_t* table, const uint64_t* keys,
+                              size_t count, cna_combining_key_fn fn,
+                              void* ctx);
+
+// Plain critical sections that coexist with apply callers; unlock drains the
+// stripe's publication list before releasing (the lock holder is a combiner
+// too).  Returns 0 on success, EPERM on unlock without a matching lock.
+int cna_combining_lock(cna_combining_t* table, uint64_t key);
+int cna_combining_unlock(cna_combining_t* table, uint64_t key);
+
+size_t cna_combining_stripes(const cna_combining_t* table);
+size_t cna_combining_stripe_of(const cna_combining_t* table, uint64_t key);
+size_t cna_combining_state_bytes(const cna_combining_t* table);
+
+// Aggregate counters: operations run by their own submitter (pass-through)
+// vs. by a combiner on another thread's behalf.  Their sum is the number of
+// apply/apply_batch operations completed against the table.
+uint64_t cna_combining_pass_through_ops(const cna_combining_t* table);
+uint64_t cna_combining_combined_ops(const cna_combining_t* table);
+
+// ---------------------------------------------------------------------------
 // Reader-writer locks (src/locks/cna_rwlock.h): pthread_rwlock-shaped surface
 // over the compact NUMA-aware rwlock family.  Kinds: "cna-rw" (per-socket
 // padded reader counters, CNA writer queue) and "cna-rw-compact" (one 8-byte

@@ -179,6 +179,23 @@ ShardedMutex::ShardedMutex(std::string_view name, std::size_t stripes) {
       *kind, locktable::LockTableOptions{.stripes = stripes});
 }
 
+ShardedCombiner::ShardedCombiner(LockKind kind, std::size_t stripes)
+    : impl_(MakeCombiningTable<RealPlatform>(
+          kind, locktable::CombiningTableOptions{.stripes = stripes,
+                                                 .collect_stats = true})) {}
+
+ShardedCombiner::ShardedCombiner(std::string_view name, std::size_t stripes) {
+  auto kind = LockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument(
+        "cna::core::ShardedCombiner: unknown lock name \"" +
+        std::string(name) + "\"");
+  }
+  impl_ = MakeCombiningTable<RealPlatform>(
+      *kind, locktable::CombiningTableOptions{.stripes = stripes,
+                                              .collect_stats = true});
+}
+
 SharedMutex::SharedMutex(RwLockKind kind)
     : impl_(MakeRwLock<RealPlatform>(kind)) {}
 

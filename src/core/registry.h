@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/any_combining_table.h"
 #include "core/any_lock.h"
 #include "core/any_lock_table.h"
 #include "core/any_rwlock.h"
@@ -146,6 +147,54 @@ std::unique_ptr<AnyLockTable> MakeLockTable(
 }
 
 // ---------------------------------------------------------------------------
+// Flat combining: the batch-execution counterpart of MakeLockTable.
+// ---------------------------------------------------------------------------
+
+// Whether `kind`'s lock class supports the combining layer (it needs a
+// try-lock fast path for fast-path/slow-path splitting).
+template <typename P>
+bool SupportsCombining(LockKind kind) {
+  return WithLockType<P>(kind, []<typename L>(std::type_identity<L>) {
+    return locks::TryLockable<L>;
+  });
+}
+
+// Invokes `f` with std::type_identity<locktable::CombiningTable<P, L>>{}
+// where L implements `kind`.  Single point of truth for the kind ->
+// combining-table mapping, built on WithLockType the way MakeLockTable is:
+// any try-lockable kind added there is automatically constructible as a
+// combining table.  Throws std::invalid_argument for kinds without a
+// try-lock path.
+template <typename P, typename F>
+decltype(auto) WithCombining(LockKind kind, F&& f) {
+  return WithLockType<P>(
+      kind, [&f]<typename L>(std::type_identity<L>) -> decltype(auto) {
+        if constexpr (locks::TryLockable<L>) {
+          return f(std::type_identity<locktable::CombiningTable<P, L>>{});
+        } else {
+          throw std::invalid_argument(
+              "WithCombining: lock kind has no try-lock path (flat combining "
+              "needs a stripe fast path)");
+          // Unreachable; gives the lambda a consistent return type.
+          return f(std::type_identity<locktable::CombiningTable<P, locks::CnaLock<P>>>{});
+        }
+      });
+}
+
+// Builds a type-erased flat-combining table of `kind` over platform P.
+template <typename P>
+std::unique_ptr<AnyCombiningTable> MakeCombiningTable(
+    LockKind kind, const locktable::CombiningTableOptions& options) {
+  return WithCombining<P>(
+      kind,
+      [&options, name = std::string(LockKindName(kind))]<typename C>(
+          std::type_identity<C>) -> std::unique_ptr<AnyCombiningTable> {
+        return std::make_unique<
+            CombiningTableAdapter<P, typename C::LockType>>(name, options);
+      });
+}
+
+// ---------------------------------------------------------------------------
 // Reader-writer locks: the rwlock counterpart of the machinery above.
 // ---------------------------------------------------------------------------
 
@@ -247,6 +296,59 @@ class ShardedMutex {
 
  private:
   std::unique_ptr<AnyLockTable> impl_;
+};
+
+// User-facing flat-combining namespace over the real platform: the
+// batch-execution counterpart of ShardedMutex.  apply(key, fn) runs fn under
+// key's stripe -- on this thread or on a combiner -- exactly once;
+// lock(key)/unlock(key) open plain critical sections that coexist with apply
+// users (unlock drains the stripe's publication list first).  Construction
+// enables the per-stripe combined/pass-through counters, so combined_share()
+// reports how much of the workload combiners absorbed.
+class ShardedCombiner {
+ public:
+  ShardedCombiner(LockKind kind, std::size_t stripes);
+  // Throws std::invalid_argument on an unknown lock name or a lock without a
+  // try-lock path.
+  ShardedCombiner(std::string_view name, std::size_t stripes);
+
+  template <typename F>
+  void apply(std::uint64_t key, F&& fn) {
+    impl_->Apply(
+        key,
+        [](void* c) { (*static_cast<std::remove_reference_t<F>*>(c))(); },
+        std::addressof(fn));
+  }
+
+  template <typename F>
+  void apply_batch(const std::uint64_t* keys, std::size_t count, F&& fn) {
+    impl_->ApplyBatch(
+        keys, count,
+        [](void* c, std::uint64_t key) {
+          (*static_cast<std::remove_reference_t<F>*>(c))(key);
+        },
+        std::addressof(fn));
+  }
+
+  void lock(std::uint64_t key) { impl_->Lock(key); }
+  void unlock(std::uint64_t key) { impl_->Unlock(key); }
+
+  std::size_t stripes() const { return impl_->Stripes(); }
+  std::size_t stripe_of(std::uint64_t key) const {
+    return impl_->StripeOf(key);
+  }
+  std::size_t lock_state_bytes() const { return impl_->LockStateBytes(); }
+  std::size_t combining_budget() const { return impl_->CombiningBudget(); }
+  locktable::CombiningStatsSummary combining_summary() const {
+    return impl_->CombiningSummary();
+  }
+  double combined_share() const {
+    return impl_->CombiningSummary().CombinedShare();
+  }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyCombiningTable> impl_;
 };
 
 // User-facing reader-writer mutex over the real platform.  Satisfies the C++

@@ -11,8 +11,11 @@
 #ifndef CNA_KERNEL_LOCKTORTURE_H_
 #define CNA_KERNEL_LOCKTORTURE_H_
 
+#include <atomic>
 #include <cstdint>
 
+#include "locks/lock_api.h"
+#include "locktable/combining.h"
 #include "qspin/qspinlock.h"
 
 namespace cna::kernel {
@@ -31,6 +34,38 @@ struct LockTortureOptions {
   int lockstat_lines = 3;
 };
 
+namespace detail {
+
+constexpr std::uint64_t kTortureStatBaseId = 3u << 20;
+
+// The lock_torture_writer critical-section body, shared by the raw-lock and
+// combining tortures so the two modes always exercise the same mix:
+// lockstat's post-acquisition bookkeeping (writes to shared variables, e.g.
+// tracking the last CPU a lock was acquired on), then the rare long delay or
+// the random short delay ("emulate likely code").  `iteration` is the
+// caller's private acquisition counter (used for the rare long delay).
+template <typename P>
+void TortureCsBody(const LockTortureOptions& options,
+                   std::uint64_t iteration) {
+  if (options.lockstat) {
+    for (int i = 0; i < options.lockstat_lines; ++i) {
+      P::OnDataAccess(kTortureStatBaseId + static_cast<std::uint64_t>(i),
+                      /*write=*/true);
+    }
+  }
+  if (options.long_delay_period != 0 &&
+      iteration % options.long_delay_period ==
+          options.long_delay_period - 1) {
+    P::ExternalWork(options.long_delay_ns);
+  } else {
+    // Uniform around the mean, like the module's random short udelay.
+    const std::uint64_t d = options.short_delay_ns;
+    P::ExternalWork(d / 2 + P::Random() % (d + 1));
+  }
+}
+
+}  // namespace detail
+
 // One torture instance: a single spin lock of the selected slow-path kind
 // plus the stat lines lockstat perturbs.
 template <typename P, qspin::SlowPathKind K>
@@ -41,37 +76,64 @@ class LockTorture {
   LockTorture(const LockTorture&) = delete;
   LockTorture& operator=(const LockTorture&) = delete;
 
-  // One lock_torture_writer iteration; `iteration` is the caller's private
-  // acquisition counter (used for the rare long delay).
+  // One lock_torture_writer iteration.
   void WriterOp(std::uint64_t iteration) {
     lock_.Lock();
-    if (options_.lockstat) {
-      // lockstat's post-acquisition bookkeeping: writes to shared variables
-      // (e.g. tracking the last CPU a lock was acquired on).
-      for (int i = 0; i < options_.lockstat_lines; ++i) {
-        P::OnDataAccess(kStatBaseId + static_cast<std::uint64_t>(i),
-                        /*write=*/true);
-      }
-    }
-    if (options_.long_delay_period != 0 &&
-        iteration % options_.long_delay_period ==
-            options_.long_delay_period - 1) {
-      P::ExternalWork(options_.long_delay_ns);
-    } else {
-      // Uniform around the mean, like the module's random short udelay.
-      const std::uint64_t d = options_.short_delay_ns;
-      P::ExternalWork(d / 2 + P::Random() % (d + 1));
-    }
+    detail::TortureCsBody<P>(options_, iteration);
     lock_.Unlock();
   }
 
   qspin::QSpinLock<P, K>& lock() { return lock_; }
 
  private:
-  static constexpr std::uint64_t kStatBaseId = 3u << 20;
-
   LockTortureOptions options_;
   qspin::QSpinLock<P, K> lock_;
+};
+
+// Combining-mode torture: the same writer mix, but the critical section is
+// published as a closure against a flat-combining table (combining.h)
+// instead of acquired through a raw lock.  A handful of stripes keeps every
+// stripe hot, so the torture exercises exactly the machinery the raw-lock
+// torture cannot: combiner handoff, publication-list drains, and budget
+// cutoffs under the kernel module's delay pattern.
+template <typename P, locks::TryLockable L>
+class CombiningLockTorture {
+ public:
+  CombiningLockTorture(LockTortureOptions options, std::size_t stripes,
+                       std::size_t combining_budget = 64)
+      : options_(options),
+        table_({.stripes = stripes,
+                .collect_stats = true,
+                .combining_budget = combining_budget}) {}
+
+  CombiningLockTorture(const CombiningLockTorture&) = delete;
+  CombiningLockTorture& operator=(const CombiningLockTorture&) = delete;
+
+  // One lock_torture_writer iteration, batched through key's stripe.  The
+  // same critical-section body as LockTorture runs inside the published
+  // closure, i.e. possibly on a combiner -- the worst case for combiner
+  // servitude, which is what the budget bounds.
+  void WriterOp(std::uint64_t iteration, std::uint64_t key) {
+    table_.Apply(key, [this, iteration] {
+      detail::TortureCsBody<P>(options_, iteration);
+      ops_applied_.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Total closures applied.  Plain std::atomic (never P::Atomic), following
+  // the cna_stats.h diagnostics convention: the simulator charges nothing
+  // for it, and closures on different stripes may run concurrently on real
+  // threads.
+  std::uint64_t OpsApplied() const {
+    return ops_applied_.load(std::memory_order_relaxed);
+  }
+
+  locktable::CombiningTable<P, L>& table() { return table_; }
+
+ private:
+  LockTortureOptions options_;
+  locktable::CombiningTable<P, L> table_;
+  std::atomic<std::uint64_t> ops_applied_{0};
 };
 
 }  // namespace cna::kernel

@@ -75,19 +75,20 @@ class HandlePool {
   // Lock() completes, so an aliased context's still-queued acquisition of the
   // same stripe must never be mistaken for the unlocking holder's handle.
   std::unique_ptr<Handle> Detach(std::size_t stripe) {
-    Slot& slot = ForThisContext();
-    const int self = P::CpuId();
-    SlotGuard g(slot);
-    for (std::size_t i = slot.active.size(); i-- > 0;) {
-      if (slot.active[i].stripe == stripe && slot.active[i].owner == self) {
-        std::unique_ptr<Handle> h = std::move(slot.active[i].handle);
-        slot.active.erase(slot.active.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-        return h;
-      }
-    }
-    throw std::logic_error(
+    return DetachMatching(
+        stripe, /*exact=*/nullptr,
         "locktable::HandlePool: unlock of a stripe this context does not "
+        "hold");
+  }
+
+  // Detach() variant matching one specific handle: needed when a context has
+  // several outstanding checkouts on one stripe whose completion order is
+  // not LIFO (the combining layer's Submit futures, which the caller may
+  // Wait on in any order).  Same ownership rules as Detach().
+  std::unique_ptr<Handle> DetachExact(std::size_t stripe, const Handle* h) {
+    return DetachMatching(
+        stripe, h,
+        "locktable::HandlePool: detach of a handle this context does not "
         "hold");
   }
 
@@ -145,6 +146,27 @@ class HandlePool {
     int owner;  // raw P::CpuId() of the checking-out context (un-modded)
     std::unique_ptr<Handle> handle;
   };
+
+  // Shared matcher behind Detach/DetachExact: newest-first by stripe AND by
+  // the raw context id (see Detach's aliasing note), optionally narrowed to
+  // one specific handle.
+  std::unique_ptr<Handle> DetachMatching(std::size_t stripe,
+                                         const Handle* exact,
+                                         const char* error_message) {
+    Slot& slot = ForThisContext();
+    const int self = P::CpuId();
+    SlotGuard g(slot);
+    for (std::size_t i = slot.active.size(); i-- > 0;) {
+      if (slot.active[i].stripe == stripe && slot.active[i].owner == self &&
+          (exact == nullptr || slot.active[i].handle.get() == exact)) {
+        std::unique_ptr<Handle> h = std::move(slot.active[i].handle);
+        slot.active.erase(slot.active.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        return h;
+      }
+    }
+    throw std::logic_error(error_message);
+  }
 
   // Each slot on its own cache line so contexts do not false-share pool
   // bookkeeping (the handles themselves are already line-aligned).

@@ -303,6 +303,13 @@ class LockTable {
     return stats_.stripe(s);
   }
 
+  // Whether this execution context holds stripe `s` (pre-validation for
+  // callers that must not act before confirming ownership, e.g. the
+  // combining layer's checked Unlock).
+  bool HoldsStripe(std::size_t s) const {
+    return pool_.HoldsInThisContext(s);
+  }
+
   // Stripes this execution context currently holds (tests/diagnostics).
   std::size_t HeldByThisContext() const { return pool_.ActiveInThisContext(); }
   std::size_t PooledHandlesInThisContext() const {

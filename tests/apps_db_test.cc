@@ -157,6 +157,74 @@ TEST(MiniKyoto, WickedIsDeterministicPerSeed) {
   EXPECT_EQ(run(), run());
 }
 
+// ---------- MiniKyotoStripedDb (combining bucket path) ----------
+
+apps::MiniKyotoStripedOptions SmallStripedKyoto() {
+  apps::MiniKyotoStripedOptions o;
+  o.key_range = 10'000;
+  o.buckets_log2 = 12;
+  o.lock_stripes = 8;  // 512-bucket ranges, far above the probe bound
+  return o;
+}
+
+TEST(MiniKyotoStriped, SetGetRemoveThroughCombiningStripes) {
+  apps::MiniKyotoStripedDb<RealPlatform, RealCna> db(SmallStripedKyoto());
+  EXPECT_TRUE(db.SetStriped(5, 500));
+  EXPECT_EQ(db.GetStriped(5), 500u);
+  EXPECT_TRUE(db.SetStriped(5, 501));  // overwrite
+  EXPECT_EQ(db.GetStriped(5), 501u);
+  EXPECT_TRUE(db.RemoveStriped(5));
+  EXPECT_FALSE(db.RemoveStriped(5));
+  EXPECT_EQ(db.GetStriped(5), 0u);
+}
+
+TEST(MiniKyotoStriped, ProbeChainsStayWithinTheirStripeRange) {
+  apps::MiniKyotoStripedDb<RealPlatform, RealCna> db(SmallStripedKyoto());
+  int retrievable = 0;
+  constexpr int kN = 2000;
+  for (int i = 1; i <= kN; ++i) {
+    db.SetStriped(static_cast<std::uint64_t>(i),
+                  static_cast<std::uint64_t>(i));
+  }
+  for (int i = 1; i <= kN; ++i) {
+    retrievable += db.GetStriped(static_cast<std::uint64_t>(i)) ==
+                           static_cast<std::uint64_t>(i)
+                       ? 1
+                       : 0;
+  }
+  EXPECT_GT(retrievable, kN * 9 / 10);
+  // Every key's stripe stays inside the table's namespace.
+  for (int i = 1; i <= 100; ++i) {
+    EXPECT_LT(db.StripeOfKey(static_cast<std::uint64_t>(i)),
+              db.table().stripes());
+  }
+}
+
+TEST(MiniKyotoStriped, WickedFibersCombineOnBucketRanges) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 4);
+  sim::Machine m(cfg);
+  auto opts = SmallStripedKyoto();
+  opts.lock_stripes = 2;  // two hot ranges: combining must kick in
+  opts.collect_stats = true;
+  apps::MiniKyotoStripedDb<SimPlatform, locks::CnaLock<SimPlatform>> db(opts);
+  std::uint64_t total_ops = 0;
+  for (int t = 0; t < 8; ++t) {
+    m.Spawn([&, t] {
+      XorShift64 rng = XorShift64::FromSeed(17 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 150; ++i) {
+        (void)db.WickedOp(rng);
+        ++total_ops;
+      }
+    });
+  }
+  m.Run();
+  EXPECT_EQ(total_ops, 8u * 150u);
+  const auto summary = db.table().CombiningSummary();
+  EXPECT_EQ(summary.TotalOps(), 8u * 150u);
+  EXPECT_GT(summary.combined, 0u);  // the hot ranges were batch-executed
+}
+
 TEST(MiniKyoto, ConcurrentFibersKeepTableConsistent) {
   sim::MachineConfig cfg;
   cfg.topology = numa::Topology::Uniform(2, 4);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kernel/locktorture.h"
+#include "locks/cna.h"
 #include "platform/real_platform.h"
 #include "sim/machine.h"
 #include "sim/sim_platform.h"
@@ -12,6 +13,7 @@
 namespace cna {
 namespace {
 
+using kernel::CombiningLockTorture;
 using kernel::LockTorture;
 using kernel::LockTortureOptions;
 
@@ -126,6 +128,61 @@ TEST(LockTorture, DeterministicAcrossRuns) {
     return m.FinalTimeNs();
   };
   EXPECT_EQ(run(), run());
+}
+
+// Combining mode: the same torture mix published against a CombiningTable,
+// so the harness exercises combiner handoff and budget cutoffs under the
+// kernel module's short/long-delay pattern alongside the raw locks.
+TEST(LockTorture, CombiningModeAppliesEveryOp) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 8);
+  sim::Machine m(cfg);
+  LockTortureOptions o;
+  o.short_delay_ns = 200;
+  o.long_delay_ns = 5'000;
+  o.long_delay_period = 25;
+  CombiningLockTorture<SimPlatform, locks::CnaLock<SimPlatform>> torture(
+      o, /*stripes=*/2, /*combining_budget=*/4);
+  constexpr int kFibers = 10;
+  constexpr int kIters = 60;
+  for (int t = 0; t < kFibers; ++t) {
+    m.Spawn([&torture, t] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        torture.WriterOp(i, static_cast<std::uint64_t>(t % 3));
+      }
+    });
+  }
+  m.Run();
+  EXPECT_EQ(torture.OpsApplied(),
+            static_cast<std::uint64_t>(kFibers) * kIters);
+  // The torture's long holds force publication build-up: the stats must
+  // account for every op, and combining must actually have happened.
+  const auto summary = torture.table().CombiningSummary();
+  EXPECT_EQ(summary.TotalOps(),
+            static_cast<std::uint64_t>(kFibers) * kIters);
+  EXPECT_GT(summary.combined, 0u);
+}
+
+TEST(LockTorture, CombiningModeOnRealThreads) {
+  LockTortureOptions o;
+  o.short_delay_ns = 50;
+  o.long_delay_ns = 2'000;
+  o.long_delay_period = 100;
+  CombiningLockTorture<RealPlatform, locks::CnaLock<RealPlatform>> torture(
+      o, /*stripes=*/2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&torture, t] {
+      for (std::uint64_t i = 0; i < 300; ++i) {
+        torture.WriterOp(i, static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(torture.OpsApplied(), 900u);
+  EXPECT_EQ(torture.table().CombiningSummary().TotalOps(), 900u);
 }
 
 TEST(LockTorture, WorksOnRealThreadsToo) {
