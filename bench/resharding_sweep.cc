@@ -1,0 +1,170 @@
+// Resharding sweep: can one adaptive table track the best fixed stripe count
+// as the workload shifts?
+//
+// A phased skewed-KV workload runs on the simulated 2-socket machine:
+//   * phase "hot":     90% of operations hit one hot key -- stripe count is
+//     nearly irrelevant to throughput (one stripe is hot regardless), so the
+//     best fixed table is the *small* one (it is also 256x smaller);
+//   * phase "uniform": operations spread over the whole key range -- a small
+//     table collapses under spread contention while a large one approaches
+//     lock-per-object.
+// No fixed stripe count wins both phases.  The adaptive table
+// (apps/sharded_kv.h AdaptiveShardedKv over locktable::ResizableLockTable)
+// starts small, refuses to grow during the hot phase (the policy's skew gate
+// sees one stripe absorbing the sample), then grows itself to the uniform
+// phase's sweet spot -- the uniform phase is run twice so the "adapting"
+// window (resizes in flight) and the "adapted" steady state are reported
+// separately.  The same KV instance carries its lock namespace across all
+// phases, exactly how a long-lived service would experience a workload
+// shift.
+//
+// The final block prints the adaptive table's lifetime summary: grows /
+// shrinks, lock-step drains, validation retries, and the epoch domain's
+// retired/reclaimed counts (every superseded stripe array was freed through
+// quiescence, none leaked, none freed early).
+//
+// Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sharded_kv.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace cna;
+using namespace cna::bench;
+
+constexpr std::uint64_t kKeyRange = 1 << 16;
+constexpr std::uint64_t kHotKey = 7;
+constexpr std::size_t kSmallStripes = 16;
+constexpr std::size_t kLargeStripes = 4096;
+constexpr std::uint64_t kCsComputeNs = 50;
+
+// One phase of the workload against any KV exposing Add(key, delta): an Add
+// on the hot key with probability hot_pct, else on a uniform key.
+template <typename KV>
+harness::RunResult RunPhase(std::shared_ptr<KV> kv, int threads,
+                            std::uint64_t window_ns, int hot_pct,
+                            std::uint64_t seed) {
+  return harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns,
+      [kv, hot_pct, seed](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(seed + static_cast<std::uint64_t>(t));
+        return [kv, hot_pct, rng]() mutable {
+          const bool hot =
+              static_cast<int>(rng.NextBelow(100)) < hot_pct;
+          kv->Add(hot ? kHotKey : rng.NextBelow(kKeyRange), 1);
+        };
+      });
+}
+
+std::shared_ptr<apps::ShardedKv<SimPlatform, Cna>> FixedKv(
+    std::size_t stripes) {
+  apps::ShardedKvOptions o;
+  o.key_range = kKeyRange;
+  o.lock_stripes = stripes;
+  o.cs_compute_ns = kCsComputeNs;
+  return std::make_shared<apps::ShardedKv<SimPlatform, Cna>>(o);
+}
+
+std::shared_ptr<apps::AdaptiveShardedKv<SimPlatform, Cna>> AdaptiveKv() {
+  apps::AdaptiveShardedKvOptions o;
+  o.key_range = kKeyRange;
+  o.lock_stripes = kSmallStripes;
+  o.cs_compute_ns = kCsComputeNs;
+  o.policy.min_stripes = kSmallStripes;
+  o.policy.max_stripes = kLargeStripes;
+  // Benchmark windows are short simulated milliseconds, so the policy
+  // samples more often than the production default; thresholds are set
+  // low because each collision on this machine costs a remote hop (~150ns
+  // against a ~100ns critical section), so even a few-percent contended
+  // share leaves throughput on the table.
+  o.policy.check_interval_ops = 256;
+  // Samples accumulate across ticks until they reach min_sample_ops, so a
+  // large sample floor smooths per-tick variance: fewer spurious threshold
+  // crossings near the equilibrium size, no grow/shrink dither inside a
+  // measurement window.
+  o.policy.min_sample_ops = 4096;
+  o.policy.grow_contention = 0.02;
+  o.policy.shrink_contention = 0.002;
+  o.stats_probe_period = 4;
+  return std::make_shared<apps::AdaptiveShardedKv<SimPlatform, Cna>>(o);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t window = harness::BenchWindowNs(2'000'000);
+  const int threads = harness::ClipThreads({2, 4, 8, 16}).back();
+
+  struct Phase {
+    const char* name;
+    int hot_pct;
+  };
+  // The uniform phase appears twice: first while the adaptive table is
+  // still resizing itself toward the new workload, then adapted.
+  const std::vector<Phase> phases = {{"hot90", 90},
+                                     {"uniform (adapting)", 0},
+                                     {"uniform (adapted)", 0}};
+
+  auto small = FixedKv(kSmallStripes);
+  auto large = FixedKv(kLargeStripes);
+  auto adaptive = AdaptiveKv();
+
+  const std::vector<std::string> columns = {
+      "fixed-" + std::to_string(kSmallStripes),
+      "fixed-" + std::to_string(kLargeStripes), "adaptive"};
+  harness::SeriesTable throughput(
+      "Resharding sweep: throughput (ops/us) per phase, sharded-KV Add, " +
+          std::to_string(threads) + " threads, 2-socket, cna",
+      "phase", columns);
+
+  std::printf("adaptive starts at %zu stripes\n", adaptive->table().stripes());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& phase = phases[i];
+    const std::uint64_t seed = 0x5eed0 + 97 * static_cast<std::uint64_t>(i);
+    const auto r_small =
+        RunPhase(small, threads, window, phase.hot_pct, seed);
+    const auto r_large =
+        RunPhase(large, threads, window, phase.hot_pct, seed);
+    const auto r_adapt =
+        RunPhase(adaptive, threads, window, phase.hot_pct, seed);
+    throughput.AddRow(static_cast<double>(i),
+                      {r_small.throughput_mops, r_large.throughput_mops,
+                       r_adapt.throughput_mops});
+    const double best =
+        std::max(r_small.throughput_mops, r_large.throughput_mops);
+    std::printf(
+        "phase %-20s adaptive %6.2f ops/us vs best fixed %6.2f (%+5.1f%%), "
+        "now %zu stripes\n",
+        phase.name, r_adapt.throughput_mops, best,
+        best > 0.0 ? 100.0 * (r_adapt.throughput_mops / best - 1.0) : 0.0,
+        adaptive->table().stripes());
+  }
+  throughput.Emit();
+
+  const auto s = adaptive->table().Summary();
+  std::printf(
+      "\nAdaptive table lifetime: %llu acquisitions (%.1f%% contended), "
+      "%zu stripes now\n"
+      "  resizes: %llu grows, %llu shrinks; %llu lock-step stripe drains, "
+      "%llu validation retries\n"
+      "  epoch: global epoch %llu, %llu advances; %llu snapshots retired, "
+      "%llu reclaimed, %llu pending\n",
+      static_cast<unsigned long long>(s.locks.total_acquisitions),
+      100.0 * s.locks.ContentionRate(), s.current_stripes,
+      static_cast<unsigned long long>(s.grows),
+      static_cast<unsigned long long>(s.shrinks),
+      static_cast<unsigned long long>(s.drained_stripes),
+      static_cast<unsigned long long>(s.validation_retries),
+      static_cast<unsigned long long>(s.epoch.global_epoch),
+      static_cast<unsigned long long>(s.epoch.advances),
+      static_cast<unsigned long long>(s.epoch.retired),
+      static_cast<unsigned long long>(s.epoch.reclaimed),
+      static_cast<unsigned long long>(s.epoch.pending()));
+  return 0;
+}

@@ -26,8 +26,10 @@
 #define CNA_APPS_MINI_LEVELDB_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -95,15 +97,19 @@ class MiniLevelDb {
   }
 
   std::optional<std::uint64_t> Get(std::uint64_t key) {
-    // (1) Take the snapshot under the global DB lock: read version pointers,
-    // bump reference counts (a *write* to shared state -- this is the line
-    // that ping-pongs between sockets under a NUMA-oblivious lock).
+    // (1) Take the snapshot under the global DB lock: read version pointers
+    // and record the reference.  The refcount is sharded into per-context
+    // slots keyed by P::CpuId() -- each slot its own cache line and its own
+    // modelled line -- so taking a reference no longer bounces one shared
+    // refs line through the global lock's critical section (the line that
+    // used to ping-pong between sockets alongside the lock word itself).
+    const std::size_t ref_slot = RefSlotIndex();
     {
       locks::ScopedLock<L> guard(global_lock_);
       P::ExternalWork(options_.snapshot_cs_ns);
       P::OnDataAccess(kVersionId, /*write=*/false);
-      ++version_refs_;
-      P::OnDataAccess(kRefsId, /*write=*/true);
+      ref_slots_[ref_slot].refs.fetch_add(1, std::memory_order_relaxed);
+      P::OnDataAccess(kRefsId + ref_slot, /*write=*/true);
     }
 
     // (2) Search without the DB lock.
@@ -112,12 +118,12 @@ class MiniLevelDb {
     // (3) Update the sharded LRU cache.
     TouchCache(key);
 
-    // (4) Release the snapshot.
-    {
-      locks::ScopedLock<L> guard(global_lock_);
-      --version_refs_;
-      P::OnDataAccess(kRefsId, /*write=*/true);
-    }
+    // (4) Release the snapshot.  With sharded refcounts the release is one
+    // decrement of this context's own slot: no global-lock reacquisition,
+    // no shared line touched.  (The same-slot guarantee holds even if the
+    // OS migrated the thread: the slot index was captured at Ref time.)
+    ref_slots_[ref_slot].refs.fetch_sub(1, std::memory_order_relaxed);
+    P::OnDataAccess(kRefsId + ref_slot, /*write=*/true);
     return result;
   }
 
@@ -129,7 +135,15 @@ class MiniLevelDb {
     P::OnDataAccess(kMemtableId + key % 64, /*write=*/true);
   }
 
-  std::uint64_t version_refs() const { return version_refs_; }
+  // Outstanding snapshot references, summed over the per-context slots.
+  // Exact only at quiescence (like every sum over sharded counters).
+  std::uint64_t version_refs() const {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < kRefSlots; ++i) {
+      sum += ref_slots_[i].refs.load(std::memory_order_relaxed);
+    }
+    return static_cast<std::uint64_t>(sum);
+  }
   L& global_lock() { return global_lock_; }
   ShardLockTable& cache_shard_locks() { return shard_locks_; }
 
@@ -145,7 +159,9 @@ class MiniLevelDb {
 
  private:
   static constexpr std::uint64_t kVersionId = 1ull << 34;
-  static constexpr std::uint64_t kRefsId = (1ull << 34) + 1;
+  // Base of the per-slot refs lines: kRefsId + slot, one modelled line per
+  // slot, in the [128, 192) gap between the memtable and table regions.
+  static constexpr std::uint64_t kRefsId = (1ull << 34) + 128;
   static constexpr std::uint64_t kMemtableId = (1ull << 34) + 16;
   static constexpr std::uint64_t kTableId = (1ull << 34) + 256;
   static constexpr std::uint64_t kShardId = (1ull << 34) + (1ull << 30);
@@ -251,13 +267,28 @@ class MiniLevelDb {
         index;
   };
 
+  // Per-context version-reference slot: one cache line each so Ref/Unref
+  // from different contexts never share a line.  Signed: a context may
+  // Unref a snapshot another context's slot Ref'd only if thread ids alias
+  // (mod kRefSlots), which keeps each slot's value small but possibly
+  // negative in between; the sum is the true count.
+  struct alignas(kCacheLineSize) RefSlot {
+    std::atomic<std::int64_t> refs{0};
+  };
+  static constexpr std::size_t kRefSlots = 64;
+
+  std::size_t RefSlotIndex() const {
+    return static_cast<std::size_t>(static_cast<unsigned>(P::CpuId())) %
+           kRefSlots;
+  }
+
   MiniLevelDbOptions options_;
   L global_lock_;
   ShardLockTable shard_locks_;
   std::vector<CacheAligned<Shard>> shards_;  // indexed by lock-table stripe
   std::vector<std::pair<std::uint64_t, std::uint64_t>> table_;  // sorted
   std::unordered_map<std::uint64_t, std::uint64_t> memtable_;
-  std::uint64_t version_refs_ = 0;  // guarded by global_lock_
+  std::unique_ptr<RefSlot[]> ref_slots_{new RefSlot[kRefSlots]};
 };
 
 }  // namespace cna::apps

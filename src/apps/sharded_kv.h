@@ -26,6 +26,7 @@
 #include "locks/lock_api.h"
 #include "locktable/combining.h"
 #include "locktable/lock_table.h"
+#include "locktable/resizable_lock_table.h"
 #include "locktable/rw_lock_table.h"
 
 namespace cna::apps {
@@ -368,6 +369,111 @@ class CombiningShardedKv {
   }
 
   CombiningShardedKvOptions options_;
+  Table table_;
+  std::vector<std::uint64_t> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive mode: the same direct-mapped store served through a
+// locktable::ResizableLockTable, so the lock namespace *reshapes itself*
+// under the workload -- few stripes while the key distribution is skewed or
+// the store idle, growing toward lock-per-object as uniform contention
+// appears, shrinking back when it fades.  bench/resharding_sweep.cc drives
+// exactly that phase shift against fixed-stripe ShardedKv configurations.
+// ---------------------------------------------------------------------------
+
+struct AdaptiveShardedKvOptions {
+  std::uint64_t key_range = 1 << 16;
+  // Initial stripe count; the policy takes it from there.
+  std::size_t lock_stripes = 16;
+  locktable::StripePadding padding = locktable::StripePadding::kCompact;
+  locktable::ResizePolicy policy;
+  std::uint32_t stats_probe_period = 8;
+  std::uint64_t cs_compute_ns = 50;
+};
+
+template <typename P, locks::Lockable L>
+class AdaptiveShardedKv {
+ public:
+  using Table = locktable::ResizableLockTable<P, L>;
+
+  explicit AdaptiveShardedKv(AdaptiveShardedKvOptions options)
+      : options_(options),
+        table_({.stripes = options.lock_stripes,
+                .padding = options.padding,
+                .policy = options.policy,
+                .stats_probe_period = options.stats_probe_period}),
+        values_(options.key_range, 0) {}
+
+  AdaptiveShardedKv(const AdaptiveShardedKv&) = delete;
+  AdaptiveShardedKv& operator=(const AdaptiveShardedKv&) = delete;
+
+  std::optional<std::uint64_t> Get(std::uint64_t key) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    const std::uint64_t v = LoadSlot(key, /*write=*/false);
+    if (v == 0) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  void Put(std::uint64_t key, std::uint64_t value) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    StoreSlot(key, value);
+  }
+
+  // Read-modify-write under one key; the stress tests count on it to detect
+  // lost updates across concurrent resizes.
+  void Add(std::uint64_t key, std::uint64_t delta) {
+    typename Table::Guard guard(table_, key);
+    P::ExternalWork(options_.cs_compute_ns);
+    StoreSlot(key, LoadSlot(key, /*write=*/false) + delta);
+  }
+
+  // Two-key transaction through the resizable MultiGuard; conserves the
+  // total of the two slots across resizes.
+  std::uint64_t Transfer(std::uint64_t from, std::uint64_t to,
+                         std::uint64_t amount) {
+    if (from == to) {
+      return 0;
+    }
+    typename Table::MultiGuard guard(table_, {from, to});
+    P::ExternalWork(options_.cs_compute_ns);
+    const std::uint64_t available = LoadSlot(from, /*write=*/false);
+    const std::uint64_t moved = amount < available ? amount : available;
+    StoreSlot(from, available - moved);
+    StoreSlot(to, LoadSlot(to, /*write=*/false) + moved);
+    return moved;
+  }
+
+  // Unsynchronized sum over all slots; call only when no worker is running.
+  std::uint64_t TotalValue() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  Table& table() { return table_; }
+  const AdaptiveShardedKvOptions& options() const { return options_; }
+
+ private:
+  static constexpr std::uint64_t kValueRegionBase = 1ull << 35;
+
+  std::uint64_t LoadSlot(std::uint64_t key, bool write) {
+    P::OnDataAccess(kValueRegionBase + key / 8, write);
+    return values_[key];
+  }
+
+  void StoreSlot(std::uint64_t key, std::uint64_t v) {
+    P::OnDataAccess(kValueRegionBase + key / 8, /*write=*/true);
+    values_[key] = v;
+  }
+
+  AdaptiveShardedKvOptions options_;
   Table table_;
   std::vector<std::uint64_t> values_;
 };

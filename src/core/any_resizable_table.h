@@ -1,0 +1,104 @@
+// Type-erased resizable-lock-table interface: one runtime-selectable handle
+// over locktable::ResizableLockTable instantiated with any algorithm in
+// src/locks/.
+//
+// Mirrors core/any_lock_table.h: AnyLockTable erases a fixed lock namespace;
+// AnyResizableLockTable erases the adaptive one, so the registry and the C
+// API can hand out self-resizing tables by lock name exactly the way they
+// hand out fixed ones.
+#ifndef CNA_CORE_ANY_RESIZABLE_TABLE_H_
+#define CNA_CORE_ANY_RESIZABLE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "locks/lock_api.h"
+#include "locktable/resizable_lock_table.h"
+
+namespace cna::core {
+
+// Abstract adaptive keyed lock namespace.  Same contract as AnyLockTable
+// (balanced per-context Lock/Unlock, identical key sets for
+// LockMany/UnlockMany); Stripes()/StripeOf()/LockStateBytes() describe the
+// *current* snapshot and are advisory under concurrent resizing.
+class AnyResizableLockTable {
+ public:
+  virtual ~AnyResizableLockTable() = default;
+
+  virtual void Lock(std::uint64_t key) = 0;
+  // Returns false when the stripe is busy, mid-migration, *or* the
+  // algorithm has no try-lock (spurious failures are part of the contract).
+  virtual bool TryLock(std::uint64_t key) = 0;
+  virtual void Unlock(std::uint64_t key) = 0;
+  virtual bool SupportsTryLock() const = 0;
+
+  virtual void LockMany(const std::uint64_t* keys, std::size_t count) = 0;
+  virtual void UnlockMany(const std::uint64_t* keys, std::size_t count) = 0;
+
+  // Manual resize attempt (policy-clamped); false if busy or a no-op.
+  virtual bool TryResize(std::size_t stripes) = 0;
+
+  virtual std::size_t Stripes() const = 0;
+  virtual std::size_t StripeOf(std::uint64_t key) const = 0;
+  virtual std::size_t LockStateBytes() const = 0;
+  virtual std::size_t PerStripeStateBytes() const = 0;
+  virtual locktable::ResizableStatsSummary Summary() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+template <typename P, locks::Lockable L>
+class ResizableLockTableAdapter final : public AnyResizableLockTable {
+ public:
+  ResizableLockTableAdapter(std::string name,
+                            locktable::ResizableLockTableOptions options)
+      : table_(options), name_(std::move(name)) {}
+
+  void Lock(std::uint64_t key) override { table_.Lock(key); }
+
+  bool TryLock(std::uint64_t key) override {
+    if constexpr (locks::TryLockable<L>) {
+      return table_.TryLock(key);
+    } else {
+      return false;
+    }
+  }
+
+  void Unlock(std::uint64_t key) override { table_.Unlock(key); }
+  bool SupportsTryLock() const override { return locks::TryLockable<L>; }
+
+  void LockMany(const std::uint64_t* keys, std::size_t count) override {
+    table_.LockMany(keys, count);
+  }
+  void UnlockMany(const std::uint64_t* keys, std::size_t count) override {
+    table_.UnlockMany(keys, count);
+  }
+
+  bool TryResize(std::size_t stripes) override {
+    return table_.TryResize(stripes);
+  }
+
+  std::size_t Stripes() const override { return table_.stripes(); }
+  std::size_t StripeOf(std::uint64_t key) const override {
+    return table_.StripeOf(key);
+  }
+  std::size_t LockStateBytes() const override {
+    return table_.LockStateBytes();
+  }
+  std::size_t PerStripeStateBytes() const override { return L::kStateBytes; }
+  locktable::ResizableStatsSummary Summary() const override {
+    return table_.Summary();
+  }
+  std::string Name() const override { return name_; }
+
+  locktable::ResizableLockTable<P, L>& table() { return table_; }
+
+ private:
+  locktable::ResizableLockTable<P, L> table_;
+  std::string name_;
+};
+
+}  // namespace cna::core
+
+#endif  // CNA_CORE_ANY_RESIZABLE_TABLE_H_

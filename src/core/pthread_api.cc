@@ -25,6 +25,14 @@ struct cna_locktable {
   std::unique_ptr<cna::core::AnyLockTable> impl;
 };
 
+struct cna_resizable {
+  cna_resizable(cna::core::LockKind kind, size_t stripes)
+      : impl(cna::core::MakeResizableLockTable<cna::RealPlatform>(
+            kind,
+            cna::locktable::ResizableLockTableOptions{.stripes = stripes, .policy = {}})) {}
+  std::unique_ptr<cna::core::AnyResizableLockTable> impl;
+};
+
 struct cna_combining {
   cna_combining(cna::core::LockKind kind, size_t stripes)
       : impl(cna::core::MakeCombiningTable<cna::RealPlatform>(
@@ -219,6 +227,121 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key) {
 
 size_t cna_locktable_state_bytes(const cna_locktable_t* table) {
   return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+// ----------------------------- resizable table -----------------------------
+
+cna_resizable_t* cna_resizable_create(const char* lock_name,
+                                      size_t initial_stripes) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  try {
+    return new (std::nothrow) cna_resizable(*kind, initial_stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_resizable_t* cna_resizable_create_default(size_t initial_stripes) {
+  try {
+    return new (std::nothrow)
+        cna_resizable(cna::core::LockKind::kCna, initial_stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_resizable_destroy(cna_resizable_t* table) { delete table; }
+
+int cna_resizable_lock(cna_resizable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->Lock(key);
+    return 0;
+  });
+}
+
+int cna_resizable_trylock(cna_resizable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] { return table->impl->TryLock(key) ? 0 : EBUSY; });
+}
+
+int cna_resizable_unlock(cna_resizable_t* table, uint64_t key) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  // EPERM when this thread does not hold the key in any live snapshot.
+  return GuardedCall([&] {
+    table->impl->Unlock(key);
+    return 0;
+  });
+}
+
+int cna_resizable_lock_many(cna_resizable_t* table, const uint64_t* keys,
+                            size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->LockMany(keys, count);
+    return 0;
+  });
+}
+
+int cna_resizable_unlock_many(cna_resizable_t* table, const uint64_t* keys,
+                              size_t count) {
+  if (table == nullptr || (keys == nullptr && count != 0)) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    table->impl->UnlockMany(keys, count);
+    return 0;
+  });
+}
+
+int cna_resizable_resize(cna_resizable_t* table, size_t stripes) {
+  if (table == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall(
+      [&] { return table->impl->TryResize(stripes) ? 0 : EBUSY; });
+}
+
+size_t cna_resizable_stripes(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->Stripes();
+}
+
+size_t cna_resizable_stripe_of(const cna_resizable_t* table, uint64_t key) {
+  return table == nullptr ? 0 : table->impl->StripeOf(key);
+}
+
+size_t cna_resizable_state_bytes(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+uint64_t cna_resizable_grows(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->Summary().grows;
+}
+
+uint64_t cna_resizable_shrinks(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->Summary().shrinks;
+}
+
+uint64_t cna_resizable_epoch_retired(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->Summary().epoch.retired;
+}
+
+uint64_t cna_resizable_epoch_reclaimed(const cna_resizable_t* table) {
+  return table == nullptr ? 0 : table->impl->Summary().epoch.reclaimed;
 }
 
 // ----------------------------- combining table -----------------------------

@@ -78,6 +78,63 @@ size_t cna_locktable_stripe_of(const cna_locktable_t* table, uint64_t key);
 size_t cna_locktable_state_bytes(const cna_locktable_t* table);
 
 // ---------------------------------------------------------------------------
+// Resizable lock table (src/locktable/resizable_lock_table.h): the adaptive
+// counterpart of cna_locktable_*.  The stripe array grows and shrinks by
+// power-of-two doubling as the built-in policy watches per-stripe contention;
+// old arrays are reclaimed through the epoch subsystem, so lock/unlock calls
+// remain valid across resizes (a thread that locked before a resize unlocks
+// the same critical section after it).  cna_resizable_stripes reports the
+// *current* stripe count and is advisory under concurrent resizing.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_resizable cna_resizable_t;
+
+// Creates a resizable table of the named kind starting at `initial_stripes`
+// (rounded up to a power of two).  Returns nullptr if the name is unknown.
+cna_resizable_t* cna_resizable_create(const char* lock_name,
+                                      size_t initial_stripes);
+
+// Creates a resizable table backed by the default lock (CNA).
+cna_resizable_t* cna_resizable_create_default(size_t initial_stripes);
+
+void cna_resizable_destroy(cna_resizable_t* table);
+
+// Return 0 on success (pthread convention).
+int cna_resizable_lock(cna_resizable_t* table, uint64_t key);
+// Returns 0 on success, EBUSY if the stripe is held, mid-migration, or
+// try-lock is unsupported by the underlying lock.
+int cna_resizable_trylock(cna_resizable_t* table, uint64_t key);
+// Returns 0 on success, EPERM if the calling thread does not hold the key.
+int cna_resizable_unlock(cna_resizable_t* table, uint64_t key);
+
+// Multi-key transactions, deadlock-free as in cna_locktable_*.  Nested
+// single-key lock calls must not be used for multi-key critical sections:
+// during a migration two keys conflict whenever they conflict in either the
+// old or the new geometry.
+int cna_resizable_lock_many(cna_resizable_t* table, const uint64_t* keys,
+                            size_t count);
+int cna_resizable_unlock_many(cna_resizable_t* table, const uint64_t* keys,
+                              size_t count);
+
+// Manual resize attempt (clamped to the policy's power-of-two bounds).
+// Returns 0 if a resize ran, EBUSY if another resize was in flight or the
+// size would not change.
+int cna_resizable_resize(cna_resizable_t* table, size_t stripes);
+
+// Current stripe count / key mapping / lock-state footprint (advisory under
+// concurrent resizing).
+size_t cna_resizable_stripes(const cna_resizable_t* table);
+size_t cna_resizable_stripe_of(const cna_resizable_t* table, uint64_t key);
+size_t cna_resizable_state_bytes(const cna_resizable_t* table);
+
+// Resize/reclamation observability: grows + shrinks completed, snapshots
+// retired to the epoch subsystem, and snapshots actually reclaimed so far.
+uint64_t cna_resizable_grows(const cna_resizable_t* table);
+uint64_t cna_resizable_shrinks(const cna_resizable_t* table);
+uint64_t cna_resizable_epoch_retired(const cna_resizable_t* table);
+uint64_t cna_resizable_epoch_reclaimed(const cna_resizable_t* table);
+
+// ---------------------------------------------------------------------------
 // Flat-combining table (src/locktable/combining.h): batch execution over the
 // lock-table stripes.  cna_combining_apply runs fn(ctx) under the key's
 // stripe -- possibly on another thread currently acting as the stripe's

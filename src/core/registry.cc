@@ -179,6 +179,30 @@ ShardedMutex::ShardedMutex(std::string_view name, std::size_t stripes) {
       *kind, locktable::LockTableOptions{.stripes = stripes});
 }
 
+AdaptiveShardedMutex::AdaptiveShardedMutex(LockKind kind,
+                                           std::size_t initial_stripes)
+    : impl_(MakeResizableLockTable<RealPlatform>(
+          kind,
+          locktable::ResizableLockTableOptions{.stripes = initial_stripes,
+                                              .policy = {}})) {}
+
+AdaptiveShardedMutex::AdaptiveShardedMutex(
+    LockKind kind, const locktable::ResizableLockTableOptions& options)
+    : impl_(MakeResizableLockTable<RealPlatform>(kind, options)) {}
+
+AdaptiveShardedMutex::AdaptiveShardedMutex(std::string_view name,
+                                           std::size_t initial_stripes) {
+  auto kind = LockKindFromName(name);
+  if (!kind.has_value()) {
+    throw std::invalid_argument(
+        "cna::core::AdaptiveShardedMutex: unknown lock name \"" +
+        std::string(name) + "\"");
+  }
+  impl_ = MakeResizableLockTable<RealPlatform>(
+      *kind, locktable::ResizableLockTableOptions{.stripes = initial_stripes,
+                                              .policy = {}});
+}
+
 ShardedCombiner::ShardedCombiner(LockKind kind, std::size_t stripes)
     : impl_(MakeCombiningTable<RealPlatform>(
           kind, locktable::CombiningTableOptions{.stripes = stripes,

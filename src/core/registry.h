@@ -16,6 +16,7 @@
 #include "core/any_combining_table.h"
 #include "core/any_lock.h"
 #include "core/any_lock_table.h"
+#include "core/any_resizable_table.h"
 #include "core/any_rwlock.h"
 #include "core/any_rwlock_table.h"
 #include "locks/clh.h"
@@ -143,6 +144,24 @@ std::unique_ptr<AnyLockTable> MakeLockTable(
       [&options, name = std::string(LockKindName(kind))]<typename L>(
           std::type_identity<L>) -> std::unique_ptr<AnyLockTable> {
         return std::make_unique<LockTableAdapter<P, L>>(name, options);
+      });
+}
+
+// Builds a type-erased *resizable* lock table of `kind` over platform P: the
+// adaptive counterpart of MakeLockTable (src/locktable/resizable_lock_table.h).
+// Built on the same WithLockType single point of truth, so every lock kind is
+// automatically constructible as a self-resizing namespace.  Contention
+// detection rides on the stats try-lock probe, so kinds without a try-lock
+// path never auto-grow (manual TryResize still works).
+template <typename P>
+std::unique_ptr<AnyResizableLockTable> MakeResizableLockTable(
+    LockKind kind, const locktable::ResizableLockTableOptions& options) {
+  return WithLockType<P>(
+      kind,
+      [&options, name = std::string(LockKindName(kind))]<typename L>(
+          std::type_identity<L>) -> std::unique_ptr<AnyResizableLockTable> {
+        return std::make_unique<ResizableLockTableAdapter<P, L>>(name,
+                                                                 options);
       });
 }
 
@@ -296,6 +315,42 @@ class ShardedMutex {
 
  private:
   std::unique_ptr<AnyLockTable> impl_;
+};
+
+// User-facing *adaptive* sharded lock namespace over the real platform: a
+// ShardedMutex whose stripe count follows the measured contention (see
+// locktable::ResizePolicy).  stripes() reports the current snapshot.
+class AdaptiveShardedMutex {
+ public:
+  AdaptiveShardedMutex(LockKind kind, std::size_t initial_stripes);
+  AdaptiveShardedMutex(LockKind kind,
+                       const locktable::ResizableLockTableOptions& options);
+  // Throws std::invalid_argument on an unknown lock name.
+  AdaptiveShardedMutex(std::string_view name, std::size_t initial_stripes);
+
+  void lock(std::uint64_t key) { impl_->Lock(key); }
+  bool try_lock(std::uint64_t key) { return impl_->TryLock(key); }
+  void unlock(std::uint64_t key) { impl_->Unlock(key); }
+
+  void lock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->LockMany(keys.begin(), keys.size());
+  }
+  void unlock_many(std::initializer_list<std::uint64_t> keys) {
+    impl_->UnlockMany(keys.begin(), keys.size());
+  }
+
+  bool try_resize(std::size_t stripes) { return impl_->TryResize(stripes); }
+
+  std::size_t stripes() const { return impl_->Stripes(); }
+  std::size_t stripe_of(std::uint64_t key) const {
+    return impl_->StripeOf(key);
+  }
+  std::size_t lock_state_bytes() const { return impl_->LockStateBytes(); }
+  locktable::ResizableStatsSummary summary() const { return impl_->Summary(); }
+  std::string name() const { return impl_->Name(); }
+
+ private:
+  std::unique_ptr<AnyResizableLockTable> impl_;
 };
 
 // User-facing flat-combining namespace over the real platform: the

@@ -1,4 +1,5 @@
-// Per-context handle pools for the lock-table subsystem.
+// Per-context handle pools for the lock-table subsystem, backed by
+// NUMA-node-local slab arenas.
 //
 // Queue locks (MCS, CNA, ...) need a Handle per acquisition.  The paper notes
 // that "those structures can be reused for different lock acquisitions, and
@@ -9,6 +10,21 @@
 // locks a stripe and returns it when it unlocks.  Callers therefore get a
 // plain lock(key)/unlock(key) surface with no handle management.
 //
+// Storage: handles are carved out of per-socket slab arenas rather than
+// allocated one heap object at a time.  A context whose free list runs dry
+// grabs a whole slab from its socket's arena -- the slab is touched first by
+// that context, so on real hardware first-touch places its pages on the
+// context's NUMA node, and a waiter's spin line is always socket-local to
+// its spinner.  Each handle sits on its own cache line within the slab.
+// Slabs are never freed piecemeal: when the pool dies they are retired as
+// whole units through the process-wide epoch domain (epoch/epoch.h).  Note
+// what that buys: for callers that hold an epoch pin while they touch
+// handles (ResizableLockTable pins across every critical section), a
+// straggler racing pool teardown can never spin on freed memory; for the
+// fixed tables nothing pins, so their safety rests -- as it always has --
+// on the destruction-requires-quiescence contract, and the retire is
+// merely deferred freeing.
+//
 // Unlike core::LockAdapter's strictly LIFO stacks, a lock table permits
 // out-of-order release across stripes (MultiGuard releases in reverse stripe
 // order, which need not be reverse acquisition order), so active handles are
@@ -16,15 +32,19 @@
 #ifndef CNA_LOCKTABLE_HANDLE_POOL_H_
 #define CNA_LOCKTABLE_HANDLE_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "base/cacheline.h"
 #include "base/spin_hint.h"
+#include "epoch/epoch.h"
 
 namespace cna::locktable {
 
@@ -42,69 +62,100 @@ class HandlePool {
  public:
   using Handle = typename L::Handle;
 
+  // Handles per slab: one slab refill amortizes the arena lock over this
+  // many checkouts, and matches the deepest plausible per-context demand
+  // (kInlineTxnKeys-sized transactions plus nesting).
+  static constexpr std::size_t kSlabHandles = 16;
+
   HandlePool() : slots_(new Slot[kMaxContexts]) {}
+
+  // Teardown retires every slab through the process-wide epoch domain
+  // instead of freeing eagerly: handle memory stays valid until every
+  // *pinned* context has quiesced (see the header note on what this does
+  // and does not guarantee for unpinned users).
+  ~HandlePool() {
+    for (Arena& arena : arenas_) {
+      for (Slab* slab : arena.slabs) {
+        epoch::Domain<P>::Global().Retire(slab, &Slab::Delete);
+      }
+      arena.slabs.clear();
+    }
+  }
 
   HandlePool(const HandlePool&) = delete;
   HandlePool& operator=(const HandlePool&) = delete;
 
-  // Checks a handle out of this context's free list (allocating if empty) and
-  // records it as active on `stripe`.  The returned handle is stable in
-  // memory until the matching Detach(): queue locks link waiters through
-  // handle addresses.
+  // Checks a handle out of this context's free list (refilling from the
+  // socket-local slab arena if empty) and records it as active on `stripe`.
+  // The returned handle is stable in memory until the matching Detach():
+  // queue locks link waiters through handle addresses.
   Handle& Checkout(std::size_t stripe) {
     Slot& slot = ForThisContext();
     SlotGuard g(slot);
-    std::unique_ptr<Handle> h;
-    if (!slot.free.empty()) {
-      h = std::move(slot.free.back());
-      slot.free.pop_back();
-    } else {
-      h = std::make_unique<Handle>();
+    if (slot.free.empty()) {
+      RefillFromArena(slot);
     }
-    Handle& ref = *h;
-    slot.active.push_back(Entry{stripe, P::CpuId(), std::move(h)});
-    return ref;
+    Handle* h = slot.free.back();
+    slot.free.pop_back();
+    slot.active.push_back(Entry{stripe, P::CpuId(), h});
+    return *h;
   }
 
   // Removes the calling context's most recently checked-out handle for
   // `stripe` from the active list and returns it.  The caller must Unlock()
   // through it and then Recycle() it -- the handle has to stay alive until
-  // Unlock() returns.  Throws if this context holds no handle for the stripe
-  // (i.e. unlock without a matching lock).  Entries are matched by stripe AND
-  // by the raw (un-modded) context id: an entry is registered *before* its
-  // Lock() completes, so an aliased context's still-queued acquisition of the
-  // same stripe must never be mistaken for the unlocking holder's handle.
-  std::unique_ptr<Handle> Detach(std::size_t stripe) {
-    return DetachMatching(
-        stripe, /*exact=*/nullptr,
-        "locktable::HandlePool: unlock of a stripe this context does not "
-        "hold");
+  // Unlock() returns (it does regardless: handles live in epoch-retired
+  // slabs).  Throws if this context holds no handle for the stripe (i.e.
+  // unlock without a matching lock).  Entries are matched by stripe AND by
+  // the raw (un-modded) context id: an entry is registered *before* its
+  // Lock() completes, so an aliased context's still-queued acquisition of
+  // the same stripe must never be mistaken for the unlocking holder's
+  // handle.
+  Handle* Detach(std::size_t stripe) {
+    Handle* h = DetachMatching(stripe, /*exact=*/nullptr);
+    if (h == nullptr) {
+      throw std::logic_error(
+          "locktable::HandlePool: unlock of a stripe this context does not "
+          "hold");
+    }
+    return h;
+  }
+
+  // Detach() that reports "not held" as nullptr instead of throwing: lets a
+  // caller that must probe several pools for the holder (the resizable
+  // table's Unlock walking current snapshot then migration predecessor) do
+  // ownership check and removal in one pass over the active list.
+  Handle* TryDetach(std::size_t stripe) noexcept {
+    return DetachMatching(stripe, /*exact=*/nullptr);
   }
 
   // Detach() variant matching one specific handle: needed when a context has
   // several outstanding checkouts on one stripe whose completion order is
   // not LIFO (the combining layer's Submit futures, which the caller may
   // Wait on in any order).  Same ownership rules as Detach().
-  std::unique_ptr<Handle> DetachExact(std::size_t stripe, const Handle* h) {
-    return DetachMatching(
-        stripe, h,
-        "locktable::HandlePool: detach of a handle this context does not "
-        "hold");
+  Handle* DetachExact(std::size_t stripe, const Handle* h) {
+    Handle* detached = DetachMatching(stripe, h);
+    if (detached == nullptr) {
+      throw std::logic_error(
+          "locktable::HandlePool: detach of a handle this context does not "
+          "hold");
+    }
+    return detached;
   }
 
   // Returns a handle obtained from Checkout()+Detach() to the free list.
-  // noexcept: it runs *after* the lock was released (Guard destructors, the C
-  // unlock path), where a throw would either terminate or misreport a
+  // noexcept: it runs *after* the lock was released (Guard destructors, the
+  // C unlock path), where a throw would either terminate or misreport a
   // completed unlock as failed.  If growing the free list fails under memory
-  // pressure, the handle is simply dropped -- safe, because queue nodes are
-  // unreferenced once Unlock() returns.
-  void Recycle(std::unique_ptr<Handle> h) noexcept {
+  // pressure, the pointer is simply dropped -- safe, because the slab still
+  // owns the storage and reclaims it at pool teardown.
+  void Recycle(Handle* h) noexcept {
     Slot& slot = ForThisContext();
     SlotGuard g(slot);
     try {
-      slot.free.push_back(std::move(h));
+      slot.free.push_back(h);
     } catch (...) {
-      // h still owns the handle; let it free the node instead of pooling it.
+      // Dropped from the free list, not leaked: the slab owns the memory.
     }
   }
 
@@ -140,40 +191,112 @@ class HandlePool {
     return slot.free.size();
   }
 
+  // Slabs allocated so far on `socket`'s arena (tests/diagnostics).
+  std::size_t SlabsOnSocket(int socket) const {
+    const Arena& arena =
+        arenas_[static_cast<unsigned>(socket) % kMaxSockets];
+    ArenaGuard g(arena);
+    return arena.slabs.size();
+  }
+
  private:
+  // Sockets the arenas are grouped by; matches epoch::Domain and CnaRwLock.
+  static constexpr std::size_t kMaxSockets = 8;
+  // Every handle on its own line inside the slab: the line a waiter spins on
+  // is shared with nobody, and the slab's pages are first-touched (and thus
+  // NUMA-placed) by the socket that allocates from it.
+  static constexpr std::size_t kHandleStride =
+      (sizeof(Handle) + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+
+  // A slab: kSlabHandles constructed handles in one node-local allocation.
+  struct Slab {
+    std::byte* storage;
+
+    static Slab* New() {
+      auto* slab = new Slab;
+      slab->storage = static_cast<std::byte*>(::operator new(
+          kSlabHandles * kHandleStride,
+          std::align_val_t{std::max(alignof(Handle), kCacheLineSize)}));
+      std::size_t built = 0;
+      try {
+        for (; built < kSlabHandles; ++built) {
+          new (slab->storage + built * kHandleStride) Handle();
+        }
+      } catch (...) {
+        DestroyHandles(slab, built);
+        FreeStorage(slab);
+        delete slab;
+        throw;
+      }
+      return slab;
+    }
+
+    Handle* HandleAt(std::size_t i) {
+      return std::launder(
+          reinterpret_cast<Handle*>(storage + i * kHandleStride));
+    }
+
+    // Epoch deleter: runs once the domain has quiesced past the retire.
+    static void Delete(void* p) {
+      Slab* slab = static_cast<Slab*>(p);
+      DestroyHandles(slab, kSlabHandles);
+      FreeStorage(slab);
+      delete slab;
+    }
+
+   private:
+    static void DestroyHandles(Slab* slab, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        slab->HandleAt(i)->~Handle();
+      }
+    }
+    static void FreeStorage(Slab* slab) {
+      ::operator delete(
+          slab->storage,
+          std::align_val_t{std::max(alignof(Handle), kCacheLineSize)});
+    }
+  };
+
   struct Entry {
     std::size_t stripe;
     int owner;  // raw P::CpuId() of the checking-out context (un-modded)
-    std::unique_ptr<Handle> handle;
+    Handle* handle;
   };
 
-  // Shared matcher behind Detach/DetachExact: newest-first by stripe AND by
-  // the raw context id (see Detach's aliasing note), optionally narrowed to
-  // one specific handle.
-  std::unique_ptr<Handle> DetachMatching(std::size_t stripe,
-                                         const Handle* exact,
-                                         const char* error_message) {
+  // Shared matcher behind Detach/TryDetach/DetachExact: newest-first by
+  // stripe AND by the raw context id (see Detach's aliasing note),
+  // optionally narrowed to one specific handle; nullptr when nothing
+  // matches.
+  Handle* DetachMatching(std::size_t stripe, const Handle* exact) noexcept {
     Slot& slot = ForThisContext();
     const int self = P::CpuId();
     SlotGuard g(slot);
     for (std::size_t i = slot.active.size(); i-- > 0;) {
       if (slot.active[i].stripe == stripe && slot.active[i].owner == self &&
-          (exact == nullptr || slot.active[i].handle.get() == exact)) {
-        std::unique_ptr<Handle> h = std::move(slot.active[i].handle);
+          (exact == nullptr || slot.active[i].handle == exact)) {
+        Handle* h = slot.active[i].handle;
         slot.active.erase(slot.active.begin() +
                           static_cast<std::ptrdiff_t>(i));
         return h;
       }
     }
-    throw std::logic_error(error_message);
+    return nullptr;
   }
 
   // Each slot on its own cache line so contexts do not false-share pool
   // bookkeeping (the handles themselves are already line-aligned).
   struct alignas(kCacheLineSize) Slot {
     mutable std::atomic_flag busy = ATOMIC_FLAG_INIT;
-    std::vector<std::unique_ptr<Handle>> free;
+    std::vector<Handle*> free;
     std::vector<Entry> active;
+  };
+
+  // One arena per socket: owns the slabs carved up by that socket's
+  // contexts.  Guarded by the same plain-TAS pattern as the slots (brief,
+  // uncontended, invisible to the simulator).
+  struct alignas(kCacheLineSize) Arena {
+    mutable std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    std::vector<Slab*> slabs;
   };
 
   class SlotGuard {
@@ -192,6 +315,49 @@ class HandlePool {
     std::atomic_flag& busy_;
   };
 
+  class ArenaGuard {
+   public:
+    explicit ArenaGuard(const Arena& arena) : busy_(arena.busy) {
+      while (busy_.test_and_set(std::memory_order_acquire)) {
+        SpinHint();
+      }
+    }
+    ~ArenaGuard() { busy_.clear(std::memory_order_release); }
+
+    ArenaGuard(const ArenaGuard&) = delete;
+    ArenaGuard& operator=(const ArenaGuard&) = delete;
+
+   private:
+    std::atomic_flag& busy_;
+  };
+
+  // Allocates one slab from the calling context's socket arena and hands all
+  // of its handles to `slot`'s free list.  Called under the slot guard; the
+  // arena guard nests inside it (consistent order everywhere, and neither
+  // guard is ever held across a yield point).
+  void RefillFromArena(Slot& slot) {
+    Arena& arena =
+        arenas_[static_cast<unsigned>(P::CurrentSocket()) % kMaxSockets];
+    // The slab is built BEFORE taking the arena guard: ::operator new plus
+    // kSlabHandles constructions has unbounded latency, and every other
+    // refilling context on the socket would spin on the TAS for its whole
+    // duration.  Only the registration needs the guard.
+    Slab* slab = Slab::New();
+    {
+      ArenaGuard g(arena);
+      try {
+        arena.slabs.push_back(slab);
+      } catch (...) {
+        Slab::Delete(slab);
+        throw;
+      }
+    }
+    slot.free.reserve(slot.free.size() + kSlabHandles);
+    for (std::size_t i = 0; i < kSlabHandles; ++i) {
+      slot.free.push_back(slab->HandleAt(i));
+    }
+  }
+
   // Matches core::LockAdapter::kMaxContexts and comfortably covers the
   // simulator's 192 CPUs.
   static constexpr std::size_t kMaxContexts = 1024;
@@ -204,6 +370,7 @@ class HandlePool {
   }
 
   std::unique_ptr<Slot[]> slots_;
+  Arena arenas_[kMaxSockets];
 };
 
 }  // namespace cna::locktable

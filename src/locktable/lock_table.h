@@ -33,23 +33,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
-#include "base/cacheline.h"
-#include "base/rng.h"
 #include "locks/lock_api.h"
 #include "locktable/handle_pool.h"
+#include "locktable/stripe_array.h"
 #include "locktable/table_stats.h"
 
 namespace cna::locktable {
-
-enum class StripePadding {
-  kCompact,    // stripes packed at sizeof(L): the paper's space claim
-  kCacheLine,  // one cache line per stripe: no false sharing between stripes
-};
 
 struct LockTableOptions {
   // Rounded up to the next power of two; 0 is treated as 1.
@@ -58,6 +51,14 @@ struct LockTableOptions {
   // Allocates the per-stripe counter array and enables counting (the lock
   // words themselves stay untouched; see table_stats.h).
   bool collect_stats = false;
+  // Contention sampling: stats mode detects a contended acquisition with a
+  // try-lock probe, which costs one extra RMW on the (by definition hot)
+  // lock word.  With period N > 1 only ~1/N of acquisitions probe -- chosen
+  // by the context-local PRNG, so no shared state -- and `contended` counts
+  // become a 1/N sample (multiply by the period to estimate the true rate;
+  // the resize policy does).  1 probes every acquisition (exact counts,
+  // the historical behavior).  Rounded up to a power of two.
+  std::uint32_t stats_probe_period = 1;
 };
 
 template <typename P, locks::Lockable L>
@@ -66,65 +67,42 @@ class LockTable {
   using LockType = L;
   using Handle = typename L::Handle;
 
-  // Upper bound on the namespace: 2^30 stripes (8 GiB of one-word locks) is
-  // far past any sane table and keeps stripes_ * stride_ arithmetic safe.
-  static constexpr std::size_t kMaxStripes = std::size_t{1} << 30;
+  // Upper bound on the namespace (see StripeArray).
+  static constexpr std::size_t kMaxStripes = StripeArray<L>::kMaxStripes;
 
   // Multi-key transactions up to this many keys run heap-free (inline stripe
   // sets in MultiGuard, UnlockKeys, and the type-erased adapter).
   static constexpr std::size_t kInlineTxnKeys = 8;
 
   explicit LockTable(LockTableOptions options = {})
-      : stripes_(std::bit_ceil(ValidatedStripes(options.stripes))),
-        mask_(stripes_ - 1),
-        stride_(options.padding == StripePadding::kCacheLine
-                    ? RoundUp(sizeof(L), kCacheLineSize)
-                    : sizeof(L)),
-        padding_(options.padding) {
-    const std::size_t align =
-        options.padding == StripePadding::kCacheLine
-            ? std::max(alignof(L), kCacheLineSize)
-            : alignof(L);
-    storage_.resize(stripes_ * stride_ + align);
-    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
-    base_ = reinterpret_cast<std::byte*>(RoundUp(raw, align));
-    for (std::size_t s = 0; s < stripes_; ++s) {
-      new (base_ + s * stride_) L();
-    }
+      : array_(options.stripes, options.padding),
+        probe_mask_(std::bit_ceil(std::max<std::uint32_t>(
+                        options.stats_probe_period, 1)) -
+                    1) {
     if (options.collect_stats) {
-      stats_.Enable(stripes_);
-    }
-  }
-
-  ~LockTable() {
-    for (std::size_t s = 0; s < stripes_; ++s) {
-      StripeLock(s).~L();
+      stats_.Enable(array_.stripes());
     }
   }
 
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
-  // --- Namespace geometry ---
+  // --- Namespace geometry (see stripe_array.h) ---
 
-  std::size_t stripes() const { return stripes_; }
-  StripePadding padding() const { return padding_; }
+  std::size_t stripes() const { return array_.stripes(); }
+  StripePadding padding() const { return array_.padding(); }
 
-  // The stripe a key hashes to.  SplitMix64's finalizer: full-avalanche, so
-  // sequential keys spread over the whole namespace.
   std::size_t StripeOf(std::uint64_t key) const {
-    return static_cast<std::size_t>(SplitMix64::Mix(key)) & mask_;
+    return array_.StripeOf(key);
   }
 
   // Total bytes of shared lock state backing the namespace -- the quantity
   // the paper's compactness argument is about.  One-word locks in compact
   // layout: stripes * 8 bytes (a 1M-stripe CNA table is exactly 8 MiB).
-  std::size_t LockStateBytes() const { return stripes_ * stride_; }
+  std::size_t LockStateBytes() const { return array_.LockStateBytes(); }
   static constexpr std::size_t PerStripeStateBytes() { return L::kStateBytes; }
 
-  L& StripeLock(std::size_t s) {
-    return *std::launder(reinterpret_cast<L*>(base_ + s * stride_));
-  }
+  L& StripeLock(std::size_t s) { return array_.Stripe(s); }
 
   // --- Handle-free locking surface ---
 
@@ -148,9 +126,24 @@ class LockTable {
   }
 
   void UnlockStripe(std::size_t s) {
-    auto h = pool_.Detach(s);
+    Handle* h = pool_.Detach(s);
     StripeLock(s).Unlock(*h);
-    pool_.Recycle(std::move(h));
+    pool_.Recycle(h);
+  }
+
+  // UnlockStripe() that reports "not held by this context" as false instead
+  // of throwing -- ownership check and release in ONE pass over the pool's
+  // active list, for callers that must probe several tables for the holder
+  // (the resizable table's Unlock walking current snapshot then migration
+  // predecessor).
+  bool TryUnlockStripe(std::size_t s) {
+    Handle* h = pool_.TryDetach(s);
+    if (h == nullptr) {
+      return false;
+    }
+    StripeLock(s).Unlock(*h);
+    pool_.Recycle(h);
+    return true;
   }
 
   // --- Multi-key acquisition (used by MultiGuard and the C surface) ---
@@ -317,16 +310,6 @@ class LockTable {
   }
 
  private:
-  static std::size_t ValidatedStripes(std::size_t v) {
-    if (v > kMaxStripes) {
-      throw std::length_error("locktable::LockTable: stripe count too large");
-    }
-    return v == 0 ? 1 : v;
-  }
-  static constexpr std::uint64_t RoundUp(std::uint64_t v, std::size_t unit) {
-    return (v + unit - 1) / unit * unit;
-  }
-
   // Validate-all-then-release body of UnlockKeys.
   void UnlockDistinct(const std::size_t* stripes, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -343,28 +326,27 @@ class LockTable {
     Handle& h = pool_.Checkout(s);
     L& lock = StripeLock(s);
     if (stats_.enabled()) {
-      // Stats mode probes with a try-lock first so contention is observable;
-      // the stats-off path below is the undisturbed one-SWAP acquisition.
+      // Stats mode probes with a try-lock first so contention is observable
+      // (sampled when stats_probe_period > 1); the stats-off path below is
+      // the undisturbed one-SWAP acquisition.
       if constexpr (locks::TryLockable<L>) {
-        if (lock.TryLock(h)) {
-          stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
+        if (probe_mask_ == 0 || (P::Random() & probe_mask_) == 0) {
+          if (lock.TryLock(h)) {
+            stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
+            return;
+          }
+          lock.Lock(h);
+          stats_.OnAcquire(s, /*was_contended=*/true, multi_key);
           return;
         }
-        lock.Lock(h);
-        stats_.OnAcquire(s, /*was_contended=*/true, multi_key);
-        return;
       }
     }
     lock.Lock(h);
     stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
   }
 
-  std::size_t stripes_;
-  std::size_t mask_;
-  std::size_t stride_;
-  StripePadding padding_;
-  std::vector<std::byte> storage_;
-  std::byte* base_ = nullptr;
+  StripeArray<L> array_;
+  std::uint32_t probe_mask_;  // stats_probe_period - 1 (period power of two)
   HandlePool<P, L> pool_;
   TableStats stats_;
 };

@@ -28,20 +28,17 @@
 #define CNA_LOCKTABLE_RW_LOCK_TABLE_H_
 
 #include <algorithm>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
-#include "base/cacheline.h"
-#include "base/rng.h"
 #include "locks/lock_api.h"
 #include "locktable/handle_pool.h"
-#include "locktable/lock_table.h"  // LockTableOptions / StripePadding
+#include "locktable/lock_table.h"  // LockTableOptions
+#include "locktable/stripe_array.h"
 #include "locktable/table_stats.h"
 
 namespace cna::locktable {
@@ -52,55 +49,32 @@ class RwLockTable {
   using LockType = L;
   using Handle = typename L::Handle;
 
-  static constexpr std::size_t kMaxStripes = std::size_t{1} << 30;
+  static constexpr std::size_t kMaxStripes = StripeArray<L>::kMaxStripes;
   static constexpr std::size_t kInlineTxnKeys = 8;
 
   explicit RwLockTable(LockTableOptions options = {})
-      : stripes_(std::bit_ceil(ValidatedStripes(options.stripes))),
-        mask_(stripes_ - 1),
-        stride_(options.padding == StripePadding::kCacheLine
-                    ? RoundUp(sizeof(L), kCacheLineSize)
-                    : sizeof(L)),
-        padding_(options.padding) {
-    const std::size_t align =
-        options.padding == StripePadding::kCacheLine
-            ? std::max(alignof(L), kCacheLineSize)
-            : alignof(L);
-    storage_.resize(stripes_ * stride_ + align);
-    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
-    base_ = reinterpret_cast<std::byte*>(RoundUp(raw, align));
-    for (std::size_t s = 0; s < stripes_; ++s) {
-      new (base_ + s * stride_) L();
-    }
+      : array_(options.stripes, options.padding) {
     if (options.collect_stats) {
-      stats_.Enable(stripes_);
-    }
-  }
-
-  ~RwLockTable() {
-    for (std::size_t s = 0; s < stripes_; ++s) {
-      StripeLock(s).~L();
+      stats_.Enable(array_.stripes());
     }
   }
 
   RwLockTable(const RwLockTable&) = delete;
   RwLockTable& operator=(const RwLockTable&) = delete;
 
-  // --- Namespace geometry (identical to LockTable) ---
+  // --- Namespace geometry (see stripe_array.h) ---
 
-  std::size_t stripes() const { return stripes_; }
-  StripePadding padding() const { return padding_; }
+  std::size_t stripes() const { return array_.stripes(); }
+  StripePadding padding() const { return array_.padding(); }
 
   std::size_t StripeOf(std::uint64_t key) const {
-    return static_cast<std::size_t>(SplitMix64::Mix(key)) & mask_;
+    return array_.StripeOf(key);
   }
 
-  std::size_t LockStateBytes() const { return stripes_ * stride_; }
+  std::size_t LockStateBytes() const { return array_.LockStateBytes(); }
   static constexpr std::size_t PerStripeStateBytes() { return L::kStateBytes; }
 
-  L& StripeLock(std::size_t s) {
-    return *std::launder(reinterpret_cast<L*>(base_ + s * stride_));
-  }
+  L& StripeLock(std::size_t s) { return array_.Stripe(s); }
 
   // --- Reader side ---
 
@@ -142,9 +116,9 @@ class RwLockTable {
   }
 
   void UnlockSharedStripe(std::size_t s) {
-    auto h = shared_pool_.Detach(s);
+    Handle* h = shared_pool_.Detach(s);
     StripeLock(s).UnlockShared(*h);
-    shared_pool_.Recycle(std::move(h));
+    shared_pool_.Recycle(h);
   }
 
   // --- Writer side ---
@@ -175,9 +149,9 @@ class RwLockTable {
   }
 
   void UnlockExclusiveStripe(std::size_t s) {
-    auto h = excl_pool_.Detach(s);
+    Handle* h = excl_pool_.Detach(s);
     StripeLock(s).Unlock(*h);
-    excl_pool_.Recycle(std::move(h));
+    excl_pool_.Recycle(h);
   }
 
   // pthread_rwlock_unlock-style release: figures out which mode this context
@@ -332,17 +306,6 @@ class RwLockTable {
   }
 
  private:
-  static std::size_t ValidatedStripes(std::size_t v) {
-    if (v > kMaxStripes) {
-      throw std::length_error(
-          "locktable::RwLockTable: stripe count too large");
-    }
-    return v == 0 ? 1 : v;
-  }
-  static constexpr std::uint64_t RoundUp(std::uint64_t v, std::size_t unit) {
-    return (v + unit - 1) / unit * unit;
-  }
-
   void UnlockDistinct(const std::size_t* stripes, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       if (!excl_pool_.HoldsInThisContext(stripes[i])) {
@@ -374,12 +337,7 @@ class RwLockTable {
     stats_.OnWriteAcquire(s, /*waited=*/false);
   }
 
-  std::size_t stripes_;
-  std::size_t mask_;
-  std::size_t stride_;
-  StripePadding padding_;
-  std::vector<std::byte> storage_;
-  std::byte* base_ = nullptr;
+  StripeArray<L> array_;
   HandlePool<P, L> shared_pool_;
   HandlePool<P, L> excl_pool_;
   RwTableStats stats_;
