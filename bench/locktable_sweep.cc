@@ -26,6 +26,7 @@
 
 #include "apps/sharded_kv.h"
 #include "bench_common.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -67,6 +68,51 @@ std::size_t LockStateBytesFor(std::size_t stripes) {
   // Geometry only -- no workload needed.
   locktable::LockTable<SimPlatform, L> table({.stripes = stripes});
   return table.LockStateBytes();
+}
+
+// Re-runs a sweep point with per-stripe wait-time telemetry on and returns
+// the run's slice of the "locktable.wait_ns" histogram.  Separate from the
+// throughput runs above so those stay undisturbed by the timing calls.
+template <typename L>
+telemetry::HistogramSnapshot RunLatencyPoint(int threads,
+                                             std::uint64_t window_ns,
+                                             std::size_t stripes) {
+  auto opts = SweepOptions(stripes);
+  opts.collect_latency = true;
+  auto& wait = telemetry::Registry::Global().GetHistogram("locktable.wait_ns");
+  const auto before = wait.Snapshot();
+  auto kv = std::make_shared<apps::ShardedKv<SimPlatform, L>>(opts);
+  (void)harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns, [kv](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0x1a7e + static_cast<std::uint64_t>(t));
+        return [kv, rng]() mutable { kv->MixedOp(rng); };
+      });
+  return wait.Snapshot() - before;
+}
+
+void LatencyPass(int threads, std::uint64_t window_ns) {
+  telemetry::SetEnabled(true);
+  std::vector<std::string> cols;
+  cols = harness::WithPercentileColumns(std::move(cols), "MCS");
+  cols = harness::WithPercentileColumns(std::move(cols), "CNA");
+  cols = harness::WithPercentileColumns(std::move(cols), "CNA-opt");
+  harness::SeriesTable table(
+      "Lock-table sweep: stripe wait time vs stripes, sharded KV, " +
+          std::to_string(threads) + " threads, 2-socket",
+      "stripes", cols);
+  for (std::size_t stripes : StripeCounts()) {
+    std::vector<double> row;
+    harness::AppendPercentiles(
+        row, RunLatencyPoint<Mcs>(threads, window_ns, stripes));
+    harness::AppendPercentiles(
+        row, RunLatencyPoint<Cna>(threads, window_ns, stripes));
+    harness::AppendPercentiles(
+        row, RunLatencyPoint<CnaOpt>(threads, window_ns, stripes));
+    table.AddRow(static_cast<double>(stripes), row);
+  }
+  table.Emit();
+  telemetry::SetEnabled(false);
 }
 
 void StatsPass(int threads, std::uint64_t window_ns) {
@@ -138,6 +184,7 @@ int main() {
       "per stripe -- the paper's compactness claim at namespace scale)\n",
       million_bytes, static_cast<double>(million_bytes) / (1 << 20));
 
+  LatencyPass(threads, window);
   StatsPass(threads, window);
   return 0;
 }

@@ -40,6 +40,7 @@
 #include "platform/real_platform.h"
 #include "sim/machine.h"
 #include "sim/sim_platform.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -121,10 +122,20 @@ double RunCnaRwLock(int threads, std::chrono::nanoseconds window,
 using CompactRw = locks::CnaRwLock<RealPlatform, locks::CnaRwCompactConfig>;
 using RwTable = locktable::RwLockTable<RealPlatform, CompactRw>;
 
+// When `read_wait_delta` is non-null, the run collects per-stripe latency
+// telemetry and returns its slice of the "rwtable.read_wait_ns" histogram
+// through it (the throughput sweeps pass null and stay undisturbed).
 double RunRwTable(int threads, std::chrono::nanoseconds window, int read_pct,
-                  std::size_t stripes) {
-  auto table =
-      std::make_shared<RwTable>(locktable::LockTableOptions{.stripes = stripes});
+                  std::size_t stripes,
+                  telemetry::HistogramSnapshot* read_wait_delta = nullptr) {
+  auto table = std::make_shared<RwTable>(locktable::LockTableOptions{
+      .stripes = stripes, .collect_latency = read_wait_delta != nullptr});
+  telemetry::HistogramSnapshot before;
+  if (read_wait_delta != nullptr) {
+    before =
+        telemetry::Registry::Global().GetHistogram("rwtable.read_wait_ns")
+            .Snapshot();
+  }
   auto result = harness::RunOnThreads(
       threads, window, kVirtualSockets, [table, read_pct](int t) {
         return MakeOp(
@@ -140,6 +151,12 @@ double RunRwTable(int threads, std::chrono::nanoseconds window, int read_pct,
               table->UnlockExclusive(key);
             });
       });
+  if (read_wait_delta != nullptr) {
+    *read_wait_delta =
+        telemetry::Registry::Global().GetHistogram("rwtable.read_wait_ns")
+            .Snapshot() -
+        before;
+  }
   return result.throughput_mops;
 }
 
@@ -206,15 +223,21 @@ int main() {
   {
     const int threads = thread_ladder.back();
     constexpr int kPct = 95;
+    telemetry::SetEnabled(true);
     harness::SeriesTable table(
         "RwLockTable: throughput (ops/us) vs stripes, 95% reads, " +
             std::to_string(threads) + " threads",
-        "stripes", {"RwTable-compact"});
+        "stripes",
+        harness::WithPercentileColumns({"RwTable-compact"}, "read-wait"));
     for (std::size_t stripes : {1ul, 16ul, 256ul, 4096ul}) {
-      table.AddRow(static_cast<double>(stripes),
-                   {RunRwTable(threads, window, kPct, stripes)});
+      telemetry::HistogramSnapshot read_wait;
+      std::vector<double> row = {
+          RunRwTable(threads, window, kPct, stripes, &read_wait)};
+      harness::AppendPercentiles(row, read_wait);
+      table.AddRow(static_cast<double>(stripes), row);
     }
     table.Emit();
+    telemetry::SetEnabled(false);
   }
 
   SimStripeSweep(thread_ladder.back(),

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "apps/sharded_kv.h"
 #include "core/pthread_api.h"
@@ -21,6 +23,9 @@
 #include "locks/lock_api.h"
 #include "locks/mcs.h"
 #include "platform/real_platform.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -66,6 +71,53 @@ void CApiRoundTrip() {
   cna_locktable_destroy(table);
 }
 
+// One more service run with the full telemetry stack on -- telemetry-config
+// CNA stripes (slow-path wait timing + handoff tracing), table-level
+// wait/hold latency -- followed by a stats dump in every export format and a
+// Chrome trace file openable in Perfetto / chrome://tracing.
+void TelemetryDemo(int threads, std::chrono::milliseconds window) {
+  telemetry::SetEnabled(true);
+  telemetry::SetTraceEnabled(true);
+
+  using TelemetryCna = locks::CnaLock<RealPlatform, locks::CnaTelemetryConfig>;
+  apps::ShardedKvOptions o;
+  o.key_range = 1 << 16;
+  o.lock_stripes = 64;
+  o.get_pct = 70;
+  o.put_pct = 20;
+  o.cs_compute_ns = 0;
+  o.collect_latency = true;
+  apps::ShardedKv<RealPlatform, TelemetryCna> kv(o);
+  (void)harness::RunOnThreads(
+      threads, window, /*virtual_sockets=*/2, [&](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(99 + static_cast<std::uint64_t>(t));
+        return [&, rng]() mutable { kv.MixedOp(rng); };
+      });
+
+  telemetry::SetTraceEnabled(false);
+  const auto snap = telemetry::SnapshotAll();
+  std::printf("\n--- telemetry: lock_stat text ---\n%s",
+              telemetry::ToLockStatText(snap).c_str());
+  std::printf("\n--- telemetry: JSON ---\n%s\n",
+              telemetry::ToJson(snap).c_str());
+  std::printf("\n--- telemetry: Prometheus exposition ---\n%s",
+              telemetry::ToPrometheus(snap).c_str());
+
+  const auto events = telemetry::CollectTrace();
+  const char* trace_path = std::getenv("CNA_TRACE_OUT");
+  const std::string path =
+      trace_path != nullptr ? trace_path : "kv_service_trace.json";
+  std::ofstream out(path);
+  out << telemetry::ToChromeTraceJson(events);
+  out.close();
+  std::printf(
+      "\nwrote %zu trace events to %s (load in Perfetto or "
+      "chrome://tracing)\n",
+      events.size(), path.c_str());
+  telemetry::SetEnabled(false);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +137,7 @@ int main(int argc, char** argv) {
     RunService<locks::CnaLock<RealPlatform>>(threads, stripes, window);
   }
   CApiRoundTrip();
+  TelemetryDemo(threads, window);
   std::printf(
       "note: on a single-socket host MCS and CNA stripes perform alike; the "
       "NUMA effect appears on multi-socket machines (bench/locktable_sweep "

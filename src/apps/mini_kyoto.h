@@ -220,6 +220,9 @@ struct MiniKyotoStripedOptions {
   std::size_t buckets_log2 = 20;         // 1M slots, open addressing
   std::size_t lock_stripes = 1024;       // one stripe per bucket range
   bool collect_stats = false;
+  // Records op latency + combining batch size under "kyoto.striped.*"
+  // (src/telemetry/).
+  bool collect_latency = false;
   std::size_t combining_budget = 64;
   std::uint64_t cs_compute_ns = 70;
   std::uint64_t external_work_ns = 0;
@@ -235,7 +238,9 @@ class MiniKyotoStripedDb {
         buckets_(options.buckets_log2),
         table_({.stripes = options.lock_stripes,
                 .collect_stats = options.collect_stats,
-                .combining_budget = options.combining_budget}),
+                .combining_budget = options.combining_budget,
+                .collect_latency = options.collect_latency,
+                .metrics_name = "kyoto.striped"}),
         // The table rounds stripes up to a power of two; a range must hold
         // at least one slot.
         range_mask_(((buckets_.mask() + 1) / table_.stripes() == 0

@@ -53,6 +53,9 @@ struct MiniLevelDbOptions {
   // Enables the shard table's per-stripe read/write counters (tests assert
   // the cache path is read-dominated).
   bool cache_stats = false;
+  // Records shard-lock read/write wait + write hold latency into the
+  // telemetry registry under "leveldb.cache.*" (src/telemetry/).
+  bool cache_latency = false;
   std::uint64_t seed = 7;
   // Instruction-execution cost of the global-lock critical section.
   std::uint64_t snapshot_cs_ns = 40;
@@ -78,7 +81,9 @@ class MiniLevelDb {
       : options_(options),
         shard_locks_({.stripes = options.cache_shards,
                       .padding = locktable::StripePadding::kCacheLine,
-                      .collect_stats = options.cache_stats}),
+                      .collect_stats = options.cache_stats,
+                      .collect_latency = options.cache_latency,
+                      .metrics_name = "leveldb.cache"}),
         shards_(shard_locks_.stripes()) {
     table_.reserve(options.prefill_keys);
     for (std::uint64_t i = 0; i < options.prefill_keys; ++i) {

@@ -38,6 +38,10 @@ struct ShardedKvOptions {
   std::size_t lock_stripes = 1024;
   locktable::StripePadding padding = locktable::StripePadding::kCompact;
   bool collect_stats = false;
+  // Record per-stripe wait/hold latency into the telemetry registry (metric
+  // names "<metrics_name>.wait_ns"/".hold_ns"; nullptr = the flavor default).
+  bool collect_latency = false;
+  const char* metrics_name = nullptr;
   // MixedOp distribution (percent): reads, single-key writes, and two-key
   // transfers making up the remainder.
   int get_pct = 70;
@@ -55,7 +59,9 @@ class ShardedKv {
       : options_(options),
         table_({.stripes = options.lock_stripes,
                 .padding = options.padding,
-                .collect_stats = options.collect_stats}),
+                .collect_stats = options.collect_stats,
+                .collect_latency = options.collect_latency,
+                .metrics_name = options.metrics_name}),
         values_(options.key_range, 0) {}
 
   ShardedKv(const ShardedKv&) = delete;
@@ -173,6 +179,10 @@ struct RwShardedKvOptions {
   std::size_t lock_stripes = 1024;
   locktable::StripePadding padding = locktable::StripePadding::kCompact;
   bool collect_stats = false;
+  // Per-stripe read/write wait + write hold latency telemetry (metric names
+  // "<metrics_name>.read_wait_ns" etc.; nullptr = "rwtable").
+  bool collect_latency = false;
+  const char* metrics_name = nullptr;
   // ReadMostlyOp distribution: percentage of operations that are Get()s; the
   // remainder are single-key Put()s.
   int read_pct = 95;
@@ -189,7 +199,9 @@ class RwShardedKv {
       : options_(options),
         table_({.stripes = options.lock_stripes,
                 .padding = options.padding,
-                .collect_stats = options.collect_stats}),
+                .collect_stats = options.collect_stats,
+                .collect_latency = options.collect_latency,
+                .metrics_name = options.metrics_name}),
         values_(options.key_range, 0) {}
 
   RwShardedKv(const RwShardedKv&) = delete;
@@ -269,6 +281,10 @@ struct CombiningShardedKvOptions {
   std::size_t lock_stripes = 1024;
   locktable::StripePadding padding = locktable::StripePadding::kCompact;
   bool collect_stats = false;
+  // Operation latency (submit to completion) + combining batch-size
+  // telemetry (nullptr metrics_name = "combining").
+  bool collect_latency = false;
+  const char* metrics_name = nullptr;
   std::size_t combining_budget = 64;
   // HotOp distribution: hot_pct percent of operations hit `hot_key` (one hot
   // stripe); the rest spread uniformly over key_range.
@@ -288,7 +304,9 @@ class CombiningShardedKv {
         table_({.stripes = options.lock_stripes,
                 .padding = options.padding,
                 .collect_stats = options.collect_stats,
-                .combining_budget = options.combining_budget}),
+                .combining_budget = options.combining_budget,
+                .collect_latency = options.collect_latency,
+                .metrics_name = options.metrics_name}),
         values_(options.key_range, 0) {}
 
   CombiningShardedKv(const CombiningShardedKv&) = delete;
@@ -389,6 +407,8 @@ struct AdaptiveShardedKvOptions {
   locktable::StripePadding padding = locktable::StripePadding::kCompact;
   locktable::ResizePolicy policy;
   std::uint32_t stats_probe_period = 8;
+  // Per-stripe wait/hold latency telemetry ("resizable.*" metrics).
+  bool collect_latency = false;
   std::uint64_t cs_compute_ns = 50;
 };
 
@@ -402,7 +422,8 @@ class AdaptiveShardedKv {
         table_({.stripes = options.lock_stripes,
                 .padding = options.padding,
                 .policy = options.policy,
-                .stats_probe_period = options.stats_probe_period}),
+                .stats_probe_period = options.stats_probe_period,
+                .collect_latency = options.collect_latency}),
         values_(options.key_range, 0) {}
 
   AdaptiveShardedKv(const AdaptiveShardedKv&) = delete;

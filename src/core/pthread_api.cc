@@ -1,9 +1,12 @@
 #include "core/pthread_api.h"
 
 #include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/any_lock_table.h"
@@ -12,6 +15,9 @@
 #include "core/registry.h"
 #include "locktable/lock_table.h"
 #include "platform/real_platform.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 struct cna_mutex {
   explicit cna_mutex(cna::core::LockKind kind) : impl(kind) {}
@@ -629,5 +635,52 @@ size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
 size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table) {
   return table == nullptr ? 0 : table->impl->LockStateBytes();
 }
+
+void cna_telemetry_enable(int on) { cna::telemetry::SetEnabled(on != 0); }
+
+int cna_telemetry_enabled(void) {
+  return cna::telemetry::Enabled() ? 1 : 0;
+}
+
+void cna_telemetry_trace_enable(int on) {
+  cna::telemetry::SetTraceEnabled(on != 0);
+}
+
+void cna_telemetry_reset(void) {
+  cna::telemetry::Registry::Global().ResetAll();
+  cna::telemetry::ClearTrace();
+}
+
+char* cna_telemetry_export(int format) {
+  std::string out;
+  try {
+    switch (format) {
+      case CNA_TELEMETRY_FORMAT_TEXT:
+        out = cna::telemetry::ToLockStatText(cna::telemetry::SnapshotAll());
+        break;
+      case CNA_TELEMETRY_FORMAT_JSON:
+        out = cna::telemetry::ToJson(cna::telemetry::SnapshotAll());
+        break;
+      case CNA_TELEMETRY_FORMAT_PROMETHEUS:
+        out = cna::telemetry::ToPrometheus(cna::telemetry::SnapshotAll());
+        break;
+      case CNA_TELEMETRY_FORMAT_CHROME:
+        out = cna::telemetry::ToChromeTraceJson(cna::telemetry::CollectTrace());
+        break;
+      default:
+        return nullptr;
+    }
+  } catch (...) {
+    return nullptr;
+  }
+  char* buf = static_cast<char*>(std::malloc(out.size() + 1));
+  if (buf == nullptr) {
+    return nullptr;
+  }
+  std::memcpy(buf, out.c_str(), out.size() + 1);
+  return buf;
+}
+
+void cna_telemetry_free(char* exported) { std::free(exported); }
 
 }  // extern "C"

@@ -262,6 +262,34 @@ size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
 // one 8-byte word per stripe).
 size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table);
 
+// ---------------------------------------------------------------------------
+// Telemetry (src/telemetry/): process-global latency histograms, event
+// tracing, and exporters.  Recording is off until enabled; exports allocate
+// with malloc and are released with cna_telemetry_free.
+// ---------------------------------------------------------------------------
+
+// Master switch for counter/histogram recording (0 = off).
+void cna_telemetry_enable(int on);
+int cna_telemetry_enabled(void);
+
+// Separate switch for the per-thread trace-event rings.
+void cna_telemetry_trace_enable(int on);
+
+// Zeroes every registered metric; clears the trace rings.
+void cna_telemetry_reset(void);
+
+// Registry export formats for cna_telemetry_export.
+#define CNA_TELEMETRY_FORMAT_TEXT 0       /* /proc/lock_stat-style table */
+#define CNA_TELEMETRY_FORMAT_JSON 1       /* nested JSON */
+#define CNA_TELEMETRY_FORMAT_PROMETHEUS 2 /* Prometheus exposition */
+#define CNA_TELEMETRY_FORMAT_CHROME 3     /* Chrome trace-event JSON */
+
+// Returns a malloc'd NUL-terminated export of the registry snapshot (or, for
+// CNA_TELEMETRY_FORMAT_CHROME, of the collected trace rings); nullptr on an
+// unknown format or allocation failure.  Free with cna_telemetry_free.
+char* cna_telemetry_export(int format);
+void cna_telemetry_free(char* exported);
+
 }  // extern "C"
 
 #endif  // CNA_CORE_PTHREAD_API_H_

@@ -47,6 +47,8 @@
 
 #include "base/cacheline.h"
 #include "base/spin_hint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace cna::epoch {
 
@@ -249,6 +251,8 @@ class Domain {
       return false;  // someone else advanced first
     }
     advances_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::TraceEmit(telemetry::TraceEventType::kEpochAdvance,
+                         P::CurrentSocket(), P::CpuId(), e + 1);
     return true;
   }
 
@@ -266,9 +270,11 @@ class Domain {
     // access may run under a plain TAS (a fiber yielding mid-guard would
     // leave other contexts spinning without a yield point).
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    const std::uint64_t retire_ns =
+        telemetry::Enabled() ? telemetry::NowNs() : 0;
     {
       SlotGuard g(slot);
-      slot.retired.push_back(Retired{ptr, deleter, e});
+      slot.retired.push_back(Retired{ptr, deleter, e, retire_ns});
     }
     retired_.fetch_add(1, std::memory_order_relaxed);
     TryAdvance();
@@ -343,7 +349,8 @@ class Domain {
   struct Retired {
     void* ptr;
     Deleter deleter;
-    std::uint64_t epoch;  // global epoch at retire time
+    std::uint64_t epoch;      // global epoch at retire time
+    std::uint64_t retire_ns;  // wall stamp for the grace histogram; 0 = off
   };
 
   // One line of pin state plus this slot's retire list.  The list is guarded
@@ -416,6 +423,21 @@ class Domain {
         }
         slot.retired.resize(kept);
       }
+    }
+    if (!ready.empty() && telemetry::Enabled()) {
+      // Grace-period duration = retire-to-reclaim latency, stamped outside
+      // the TAS guard on both ends.  Items retired before telemetry was
+      // enabled carry retire_ns == 0 and are skipped.
+      const std::uint64_t now = telemetry::NowNs();
+      auto& hist = telemetry::EpochGraceHistogram();
+      for (const Retired& r : ready) {
+        if (r.retire_ns != 0 && now >= r.retire_ns) {
+          hist.RecordAt(P::CurrentSocket(), P::CpuId(), now - r.retire_ns);
+        }
+      }
+      telemetry::TraceEmit(telemetry::TraceEventType::kEpochReclaim,
+                           P::CurrentSocket(), P::CpuId(),
+                           /*arg=*/ready.size());
     }
     for (const Retired& r : ready) {
       r.deleter(r.ptr);

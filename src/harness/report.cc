@@ -8,6 +8,21 @@
 
 namespace cna::harness {
 
+std::vector<std::string> WithPercentileColumns(std::vector<std::string> names,
+                                               const std::string& prefix) {
+  names.push_back(prefix + " p50us");
+  names.push_back(prefix + " p99us");
+  names.push_back(prefix + " p999us");
+  return names;
+}
+
+void AppendPercentiles(std::vector<double>& values,
+                       const telemetry::HistogramSnapshot& h) {
+  values.push_back(static_cast<double>(h.P50()) / 1000.0);
+  values.push_back(static_cast<double>(h.P99()) / 1000.0);
+  values.push_back(static_cast<double>(h.P999()) / 1000.0);
+}
+
 SeriesTable::SeriesTable(std::string title, std::string x_label,
                          std::vector<std::string> series_names)
     : title_(std::move(title)),

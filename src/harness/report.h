@@ -6,7 +6,23 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace cna::harness {
+
+// Percentile-column helpers for benches that report latency distributions
+// next to throughput: the column set is fixed (p50/p99/p999, microseconds)
+// so every bench emits the same shape and the CSV stays diffable.
+
+// Returns `names` with "<prefix> p50us", "<prefix> p99us", "<prefix> p999us"
+// appended.
+std::vector<std::string> WithPercentileColumns(std::vector<std::string> names,
+                                               const std::string& prefix);
+
+// Appends the snapshot's p50/p99/p999 (nanosecond buckets reported as
+// microseconds) to a row's value vector.
+void AppendPercentiles(std::vector<double>& values,
+                       const telemetry::HistogramSnapshot& h);
 
 // A figure-style series table: one row per x value (thread count), one
 // column per lock/configuration.

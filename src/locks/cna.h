@@ -34,6 +34,8 @@
 
 #include "base/cacheline.h"
 #include "locks/cna_stats.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace cna::locks {
 
@@ -61,6 +63,11 @@ struct CnaDefaultConfig {
   // Update locks::GlobalCnaCounters() on every release (Section 7.1.1's
   // queue-alteration statistics).  Off by default: zero instrumentation.
   static constexpr bool kCollectStats = false;
+  // Record slow-path wait time into the telemetry registry and emit trace
+  // events for handoffs/queue moves (src/telemetry/).  Off by default: the
+  // default build compiles no telemetry code into the lock at all, and the
+  // lock stays exactly one word either way (the guard test asserts it).
+  static constexpr bool kTelemetry = false;
 };
 
 // "CNA (opt)" of Section 7.1.1: shuffle reduction enabled.
@@ -71,6 +78,14 @@ struct CnaShuffleReductionConfig : CnaDefaultConfig {
 // Section 6's pointer-tagging optimization enabled.
 struct CnaSocketInNextConfig : CnaDefaultConfig {
   static constexpr bool kEncodeSocketInNext = true;
+};
+
+// Fully observable build: Section 7.1.1 counters plus wait-time histograms
+// and trace events.  Runtime cost is one relaxed flag load per slow-path
+// entry/handover when telemetry is globally disabled.
+struct CnaTelemetryConfig : CnaDefaultConfig {
+  static constexpr bool kCollectStats = true;
+  static constexpr bool kTelemetry = true;
 };
 
 template <typename P, typename Cfg = CnaDefaultConfig>
@@ -113,6 +128,19 @@ class CnaLock {
     const int my_socket = P::CurrentSocket();
     me.socket.store(my_socket, std::memory_order_relaxed);
     tail->next.store(Tagged(&me, my_socket), std::memory_order_release);
+    if constexpr (Cfg::kTelemetry) {
+      if (telemetry::Enabled()) {
+        const std::uint64_t t0 = telemetry::NowNs();
+        while (me.spin.load(std::memory_order_acquire) == 0) {
+          P::Pause();
+        }
+        const std::uint64_t waited = telemetry::NowNs() - t0;
+        telemetry::CnaWaitHistogram().RecordAt(my_socket, P::CpuId(), waited);
+        telemetry::TraceEmit(telemetry::TraceEventType::kLockSlowPath,
+                             my_socket, P::CpuId(), /*arg=*/0, waited, t0);
+        return;
+      }
+    }
     while (me.spin.load(std::memory_order_acquire) == 0) {
       P::Pause();
     }
@@ -160,6 +188,7 @@ class CnaLock {
           sec_head->spin.store(1, std::memory_order_release);
           CountRelease();
           CountFlush();
+          TraceHandoff(telemetry::TraceEventType::kHandoffSecondary);
           return;
         }
       }
@@ -184,6 +213,7 @@ class CnaLock {
           GlobalCnaCounters().fifo_handovers.fetch_add(
               1, std::memory_order_relaxed);
         }
+        TraceHandoff(telemetry::TraceEventType::kHandoffFifo);
         return;
       }
     }
@@ -198,6 +228,7 @@ class CnaLock {
         GlobalCnaCounters().local_handovers.fetch_add(
             1, std::memory_order_relaxed);
       }
+      TraceHandoff(telemetry::TraceEventType::kHandoffLocal);
     } else if (spin > 1) {
       // Fairness flush (or no local successor): splice the secondary queue in
       // front of our main-queue successor and hand the lock to its head --
@@ -210,6 +241,7 @@ class CnaLock {
           ->next.store(next_raw, std::memory_order_relaxed);
       succ->spin.store(1, std::memory_order_release);
       CountFlush();
+      TraceHandoff(telemetry::TraceEventType::kHandoffSecondary);
     } else {
       // Secondary queue empty: plain MCS handover.
       Ptr(next_raw)->spin.store(1, std::memory_order_release);
@@ -217,6 +249,7 @@ class CnaLock {
         GlobalCnaCounters().fifo_handovers.fetch_add(
             1, std::memory_order_relaxed);
       }
+      TraceHandoff(telemetry::TraceEventType::kHandoffFifo);
     }
     CountRelease();
   }
@@ -276,6 +309,18 @@ class CnaLock {
     }
   }
 
+  // Telemetry-only: classify the handover / queue move in the event trace.
+  // Compiles to nothing unless Cfg::kTelemetry; the socket/tid lookups are
+  // reached only with tracing switched on at runtime.
+  static void TraceHandoff(telemetry::TraceEventType type,
+                           std::uint64_t arg = 0) {
+    if constexpr (Cfg::kTelemetry) {
+      if (telemetry::TraceEnabled()) {
+        telemetry::TraceEmit(type, P::CurrentSocket(), P::CpuId(), arg);
+      }
+    }
+  }
+
   // Figure 5's find_successor(): walk the main queue looking for the first
   // waiter on our socket; move everything crossed on the way into the
   // secondary queue (appending to it if it already exists).  `next_raw` is
@@ -320,6 +365,7 @@ class CnaLock {
           GlobalCnaCounters().waiters_moved.fetch_add(
               segment_len, std::memory_order_relaxed);
         }
+        TraceHandoff(telemetry::TraceEventType::kSecondaryMove, segment_len);
         return cur;
       }
       sec_tail = cur;

@@ -52,6 +52,8 @@
 #include "base/cacheline.h"
 #include "locks/cna.h"
 #include "qspin/qspinlock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace cna::locks {
 
@@ -72,10 +74,21 @@ struct CnaRwDefaultConfig {
   // word's qspin-CNA slow path.
   using WriterConfig = CnaDefaultConfig;
   using CompactWriterConfig = qspin::QspinCnaDefaultConfig;
+  // Record reader/writer slow-path wait time into the telemetry registry and
+  // emit trace events (src/telemetry/).  Off by default: no instrumentation
+  // is compiled in and the state layout is identical either way.
+  static constexpr bool kTelemetry = false;
 };
 
 struct CnaRwCompactConfig : CnaRwDefaultConfig {
   static constexpr RwLayout kLayout = RwLayout::kCompact;
+};
+
+// Fully observable build: telemetry on the rwlock slow paths and on the
+// underlying CNA writer queue.
+struct CnaRwTelemetryConfig : CnaRwDefaultConfig {
+  static constexpr bool kTelemetry = true;
+  using WriterConfig = CnaTelemetryConfig;
 };
 
 template <typename P, typename Cfg = CnaRwDefaultConfig>
@@ -114,52 +127,21 @@ class CnaRwLock {
   // --- Exclusive (writer) side: satisfies Lockable ---
 
   void Lock(Handle& h) {
-    if constexpr (kPerSocketLayout) {
-      // Writer-writer arbitration, Fissile-style: the writer-presence word
-      // is the real writer lock.  A few CAS attempts take it directly; under
-      // sustained writer contention the CNA queue orders the waiters (and
-      // hands off socket-locally), each queue head claiming the word as the
-      // previous writer leaves.  Readers never hold the word, so once it is
-      // ours only in-flight readers remain to drain -- the announce/drain
-      // pair is a Dekker against the readers' mark/check pair; both sides
-      // are seq_cst, so either the reader sees the announcement (and backs
-      // off) or the writer sees the reader's slot mark (and waits).
-      if (!TryClaimWriterWord()) {
-        state_.writer_queue.Lock(h.writer);
-        std::uint32_t expected = 0;
-        while (!state_.writer_present.compare_exchange_strong(
-            expected, 1, std::memory_order_seq_cst)) {
-          expected = 0;
-          P::Pause();
+    if constexpr (Cfg::kTelemetry) {
+      if (telemetry::Enabled()) {
+        const std::uint64_t t0 = telemetry::NowNs();
+        if (LockExclusiveImpl(h)) {
+          const std::uint64_t waited = telemetry::NowNs() - t0;
+          telemetry::RwWriterWaitHistogram().RecordAt(P::CurrentSocket(),
+                                                      P::CpuId(), waited);
+          telemetry::TraceEmit(telemetry::TraceEventType::kWriterWait,
+                               P::CurrentSocket(), P::CpuId(), /*arg=*/0,
+                               waited, t0);
         }
-        state_.writer_queue.Unlock(h.writer);
+        return;
       }
-      WaitForReadersToDrain();
-    } else {
-      std::uint32_t expected = 0;
-      if (state_.cnts.compare_exchange_strong(expected, kWriterLocked,
-                                              std::memory_order_acquire)) {
-        return;  // fast path: lock was completely free
-      }
-      state_.wait_lock.Lock(h.writer);
-      expected = 0;
-      if (!state_.cnts.compare_exchange_strong(expected, kWriterLocked,
-                                               std::memory_order_acquire)) {
-        // Publish intent: fast-path readers seeing the waiting bit divert to
-        // the queue behind wait_lock, so the reader stream cannot starve us.
-        state_.cnts.fetch_or(kWriterWaiting, std::memory_order_acquire);
-        for (;;) {
-          std::uint32_t v = state_.cnts.load(std::memory_order_acquire);
-          if (v == kWriterWaiting &&
-              state_.cnts.compare_exchange_strong(v, kWriterLocked,
-                                                  std::memory_order_acquire)) {
-            break;
-          }
-          P::Pause();
-        }
-      }
-      state_.wait_lock.Unlock(h.writer);
     }
+    (void)LockExclusiveImpl(h);
   }
 
   bool TryLock(Handle& h) {
@@ -199,38 +181,21 @@ class CnaRwLock {
   // --- Shared (reader) side ---
 
   void LockShared(Handle& h) {
-    if constexpr (kPerSocketLayout) {
-      for (;;) {
-        const int slot = SlotIndex();
-        state_.readers[slot].count.fetch_add(1, std::memory_order_seq_cst);
-        if (state_.writer_present.load(std::memory_order_seq_cst) == 0) {
-          h.reader_slot = slot;
-          return;
+    if constexpr (Cfg::kTelemetry) {
+      if (telemetry::Enabled()) {
+        const std::uint64_t t0 = telemetry::NowNs();
+        if (LockSharedImpl(h)) {
+          const std::uint64_t waited = telemetry::NowNs() - t0;
+          telemetry::RwReaderWaitHistogram().RecordAt(P::CurrentSocket(),
+                                                      P::CpuId(), waited);
+          telemetry::TraceEmit(telemetry::TraceEventType::kReaderWait,
+                               P::CurrentSocket(), P::CpuId(), /*arg=*/0,
+                               waited, t0);
         }
-        // Writer announced: retract the mark so it can drain, wait for it to
-        // finish, then retry (possibly on a different slot after migration).
-        state_.readers[slot].count.fetch_sub(1, std::memory_order_release);
-        while (state_.writer_present.load(std::memory_order_acquire) != 0) {
-          P::Pause();
-        }
+        return;
       }
-    } else {
-      const std::uint32_t v =
-          state_.cnts.fetch_add(kReaderUnit, std::memory_order_acquire);
-      if ((v & kWriterMask) == 0) {
-        return;  // fast path: no writer locked or waiting
-      }
-      // Back out and queue behind the (CNA-ordered) wait lock with the
-      // writers; once we own it, re-mark and wait only for a fast-path writer
-      // that slipped in before us.
-      state_.cnts.fetch_sub(kReaderUnit, std::memory_order_relaxed);
-      state_.wait_lock.Lock(h.writer);
-      state_.cnts.fetch_add(kReaderUnit, std::memory_order_acquire);
-      while (state_.cnts.load(std::memory_order_acquire) & kWriterLocked) {
-        P::Pause();
-      }
-      state_.wait_lock.Unlock(h.writer);
     }
+    (void)LockSharedImpl(h);
   }
 
   bool TryLockShared(Handle& h) {
@@ -317,6 +282,100 @@ class CnaRwLock {
   // provides the ordering and socket-locality), while a lone writer -- the
   // common case in read-mostly workloads -- pays one CAS.
   static constexpr int kWriterFastAttempts = 4;
+
+  // Acquires the writer side; returns true when the slow path (queue or
+  // writer-waiting protocol) was engaged -- the signal telemetry records.
+  bool LockExclusiveImpl(Handle& h) {
+    if constexpr (kPerSocketLayout) {
+      // Writer-writer arbitration, Fissile-style: the writer-presence word
+      // is the real writer lock.  A few CAS attempts take it directly; under
+      // sustained writer contention the CNA queue orders the waiters (and
+      // hands off socket-locally), each queue head claiming the word as the
+      // previous writer leaves.  Readers never hold the word, so once it is
+      // ours only in-flight readers remain to drain -- the announce/drain
+      // pair is a Dekker against the readers' mark/check pair; both sides
+      // are seq_cst, so either the reader sees the announcement (and backs
+      // off) or the writer sees the reader's slot mark (and waits).
+      const bool fast = TryClaimWriterWord();
+      if (!fast) {
+        state_.writer_queue.Lock(h.writer);
+        std::uint32_t expected = 0;
+        while (!state_.writer_present.compare_exchange_strong(
+            expected, 1, std::memory_order_seq_cst)) {
+          expected = 0;
+          P::Pause();
+        }
+        state_.writer_queue.Unlock(h.writer);
+      }
+      WaitForReadersToDrain();
+      return !fast;
+    } else {
+      std::uint32_t expected = 0;
+      if (state_.cnts.compare_exchange_strong(expected, kWriterLocked,
+                                              std::memory_order_acquire)) {
+        return false;  // fast path: lock was completely free
+      }
+      state_.wait_lock.Lock(h.writer);
+      expected = 0;
+      if (!state_.cnts.compare_exchange_strong(expected, kWriterLocked,
+                                               std::memory_order_acquire)) {
+        // Publish intent: fast-path readers seeing the waiting bit divert to
+        // the queue behind wait_lock, so the reader stream cannot starve us.
+        state_.cnts.fetch_or(kWriterWaiting, std::memory_order_acquire);
+        for (;;) {
+          std::uint32_t v = state_.cnts.load(std::memory_order_acquire);
+          if (v == kWriterWaiting &&
+              state_.cnts.compare_exchange_strong(v, kWriterLocked,
+                                                  std::memory_order_acquire)) {
+            break;
+          }
+          P::Pause();
+        }
+      }
+      state_.wait_lock.Unlock(h.writer);
+      return true;
+    }
+  }
+
+  // Acquires the reader side; returns true when a writer forced a back-off
+  // or a diversion to the wait queue.
+  bool LockSharedImpl(Handle& h) {
+    if constexpr (kPerSocketLayout) {
+      bool contended = false;
+      for (;;) {
+        const int slot = SlotIndex();
+        state_.readers[slot].count.fetch_add(1, std::memory_order_seq_cst);
+        if (state_.writer_present.load(std::memory_order_seq_cst) == 0) {
+          h.reader_slot = slot;
+          return contended;
+        }
+        // Writer announced: retract the mark so it can drain, wait for it to
+        // finish, then retry (possibly on a different slot after migration).
+        contended = true;
+        state_.readers[slot].count.fetch_sub(1, std::memory_order_release);
+        while (state_.writer_present.load(std::memory_order_acquire) != 0) {
+          P::Pause();
+        }
+      }
+    } else {
+      const std::uint32_t v =
+          state_.cnts.fetch_add(kReaderUnit, std::memory_order_acquire);
+      if ((v & kWriterMask) == 0) {
+        return false;  // fast path: no writer locked or waiting
+      }
+      // Back out and queue behind the (CNA-ordered) wait lock with the
+      // writers; once we own it, re-mark and wait only for a fast-path writer
+      // that slipped in before us.
+      state_.cnts.fetch_sub(kReaderUnit, std::memory_order_relaxed);
+      state_.wait_lock.Lock(h.writer);
+      state_.cnts.fetch_add(kReaderUnit, std::memory_order_acquire);
+      while (state_.cnts.load(std::memory_order_acquire) & kWriterLocked) {
+        P::Pause();
+      }
+      state_.wait_lock.Unlock(h.writer);
+      return true;
+    }
+  }
 
   bool TryClaimWriterWord() {
     for (int i = 0; i < kWriterFastAttempts; ++i) {

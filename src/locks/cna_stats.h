@@ -54,6 +54,32 @@ inline CnaEventCounters& GlobalCnaCounters() {
   return counters;
 }
 
+// Plain-value snapshot of every event counter.  Summaries embed this whole
+// struct (rather than hand-copying fields) so new counters cannot silently
+// drift out of the reports.
+struct CnaCountersSnapshot {
+  std::uint64_t releases = 0;
+  std::uint64_t local_handovers = 0;
+  std::uint64_t secondary_flushes = 0;
+  std::uint64_t fifo_handovers = 0;
+  std::uint64_t shuffle_skips = 0;
+  std::uint64_t queue_alterations = 0;
+  std::uint64_t waiters_moved = 0;
+};
+
+inline CnaCountersSnapshot SnapshotCnaCounters(
+    const CnaEventCounters& c = GlobalCnaCounters()) {
+  CnaCountersSnapshot out;
+  out.releases = c.releases.load(std::memory_order_relaxed);
+  out.local_handovers = c.local_handovers.load(std::memory_order_relaxed);
+  out.secondary_flushes = c.secondary_flushes.load(std::memory_order_relaxed);
+  out.fifo_handovers = c.fifo_handovers.load(std::memory_order_relaxed);
+  out.shuffle_skips = c.shuffle_skips.load(std::memory_order_relaxed);
+  out.queue_alterations = c.queue_alterations.load(std::memory_order_relaxed);
+  out.waiters_moved = c.waiters_moved.load(std::memory_order_relaxed);
+  return out;
+}
+
 }  // namespace cna::locks
 
 #endif  // CNA_LOCKS_CNA_STATS_H_

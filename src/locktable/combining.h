@@ -78,7 +78,10 @@
 #include "locks/lock_api.h"
 #include "locktable/handle_pool.h"
 #include "locktable/lock_table.h"
+#include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace cna::locktable {
 
@@ -95,6 +98,12 @@ struct CombiningTableOptions {
   // The combiner's own operation is exempt, so the bound never strands the
   // combiner itself.
   std::size_t combining_budget = 64;
+  // Operation latency (submit to completion) and batch-size telemetry:
+  // registers "<metrics_name>.wait_ns" and "<metrics_name>.batch_size"
+  // histograms (src/telemetry/).  Off by default; nullptr metrics_name means
+  // "combining".
+  bool collect_latency = false;
+  const char* metrics_name = nullptr;
 };
 
 template <typename P, locks::TryLockable L>
@@ -137,6 +146,11 @@ class CombiningTable {
     if (options.collect_stats) {
       cstats_.Enable(table_.stripes());
     }
+    if (options.collect_latency) {
+      lat_ = std::make_unique<CombiningLatency>(
+          options.metrics_name == nullptr ? "combining"
+                                          : options.metrics_name);
+    }
   }
 
   CombiningTable(const CombiningTable&) = delete;
@@ -177,16 +191,14 @@ class CombiningTable {
   // stripe mapping (mini_kyoto's bucket ranges).
   template <typename F>
   void ApplyStripe(std::size_t s, F&& fn) {
-    if (table_.TryLockStripe(s)) {
-      RunOwn(s, fn);
-      ReleaseStripe(s);
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = telemetry::NowNs();
+      ApplyStripeImpl(s, std::forward<F>(fn));
+      lat_->wait.RecordAt(P::CurrentSocket(), P::CpuId(),
+                          telemetry::NowNs() - t0);
       return;
     }
-    Record& r = PublishRecord(s, +[](void* c) {
-      (*static_cast<std::remove_reference_t<F>*>(c))();
-    }, std::addressof(fn));
-    AwaitRecord(s, &r);
-    record_pool_.Recycle(record_pool_.DetachExact(s, &r));
+    ApplyStripeImpl(s, std::forward<F>(fn));
   }
 
   // Batches up to this many keys run heap-free (inline grouping buffer),
@@ -382,6 +394,20 @@ class CombiningTable {
     using Handle = Record;
   };
 
+  template <typename F>
+  void ApplyStripeImpl(std::size_t s, F&& fn) {
+    if (table_.TryLockStripe(s)) {
+      RunOwn(s, fn);
+      ReleaseStripe(s);
+      return;
+    }
+    Record& r = PublishRecord(s, +[](void* c) {
+      (*static_cast<std::remove_reference_t<F>*>(c))();
+    }, std::addressof(fn));
+    AwaitRecord(s, &r);
+    record_pool_.Recycle(record_pool_.DetachExact(s, &r));
+  }
+
   Record& PublishRecord(std::size_t s, void (*invoke)(void*), void* ctx) {
     Record& r = record_pool_.Checkout(s);
     r.socket = P::CurrentSocket();
@@ -550,6 +576,13 @@ class CombiningTable {
     }
     if (applied > 0 || own != nullptr) {
       cstats_.OnBatch(s);
+      if (lat_ != nullptr && telemetry::Enabled()) {
+        const std::uint64_t batch =
+            applied + (own != nullptr ? std::uint64_t{1} : std::uint64_t{0});
+        lat_->batch.RecordAt(my_socket, P::CpuId(), batch);
+        telemetry::TraceEmit(telemetry::TraceEventType::kCombineBatch,
+                             my_socket, P::CpuId(), batch);
+      }
     }
     if (cutoff) {
       cstats_.OnBudgetCutoff(s);
@@ -561,6 +594,7 @@ class CombiningTable {
   std::unique_ptr<PubStripe[]> pub_;
   HandlePool<P, RecordBinder> record_pool_;
   CombiningStats cstats_;
+  std::unique_ptr<CombiningLatency> lat_;  // null unless collect_latency
 };
 
 }  // namespace cna::locktable

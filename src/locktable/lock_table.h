@@ -40,7 +40,9 @@
 #include "locks/lock_api.h"
 #include "locktable/handle_pool.h"
 #include "locktable/stripe_array.h"
+#include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
+#include "telemetry/metrics.h"
 
 namespace cna::locktable {
 
@@ -59,6 +61,13 @@ struct LockTableOptions {
   // the resize policy does).  1 probes every acquisition (exact counts,
   // the historical behavior).  Rounded up to a power of two.
   std::uint32_t stats_probe_period = 1;
+  // Acquisition/hold latency telemetry: registers "<metrics_name>.wait_ns"
+  // and "<metrics_name>.hold_ns" histograms in the global telemetry registry
+  // (src/telemetry/) and records into them whenever telemetry::Enabled().
+  // Off by default: the lock path carries no timing code.  nullptr picks the
+  // table flavor's default prefix ("locktable", "rwtable", "combining").
+  bool collect_latency = false;
+  const char* metrics_name = nullptr;
 };
 
 template <typename P, locks::Lockable L>
@@ -81,6 +90,11 @@ class LockTable {
                     1) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
+    }
+    if (options.collect_latency) {
+      lat_ = std::make_unique<TableLatency>(
+          options.metrics_name == nullptr ? "locktable"
+                                          : options.metrics_name);
     }
   }
 
@@ -118,6 +132,9 @@ class LockTable {
     Handle& h = pool_.Checkout(s);
     if (StripeLock(s).TryLock(h)) {
       stats_.OnAcquire(s, /*was_contended=*/false, /*multi_key=*/false);
+      if (lat_ != nullptr && telemetry::Enabled()) {
+        lat_->tracker.Push(P::CpuId(), s, telemetry::NowNs());
+      }
       return true;
     }
     stats_.OnTryLockFailure(s);
@@ -126,6 +143,7 @@ class LockTable {
   }
 
   void UnlockStripe(std::size_t s) {
+    RecordHold(s);
     Handle* h = pool_.Detach(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
@@ -141,6 +159,7 @@ class LockTable {
     if (h == nullptr) {
       return false;
     }
+    RecordHold(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
     return true;
@@ -323,6 +342,31 @@ class LockTable {
   }
 
   void AcquireStripe(std::size_t s, bool multi_key) {
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = telemetry::NowNs();
+      AcquireStripeImpl(s, multi_key);
+      const std::uint64_t t1 = telemetry::NowNs();
+      lat_->wait.RecordAt(P::CurrentSocket(), P::CpuId(), t1 - t0);
+      lat_->tracker.Push(P::CpuId(), s, t1);
+      return;
+    }
+    AcquireStripeImpl(s, multi_key);
+  }
+
+  // Hold time runs from ownership (AcquireStripe/TryLockStripe completion)
+  // to the start of the release.  Best-effort: a Pop miss (tracker overflow,
+  // telemetry enabled mid-hold) records nothing.
+  void RecordHold(std::size_t s) {
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = lat_->tracker.Pop(P::CpuId(), s);
+      if (t0 != 0) {
+        lat_->hold.RecordAt(P::CurrentSocket(), P::CpuId(),
+                            telemetry::NowNs() - t0);
+      }
+    }
+  }
+
+  void AcquireStripeImpl(std::size_t s, bool multi_key) {
     Handle& h = pool_.Checkout(s);
     L& lock = StripeLock(s);
     if (stats_.enabled()) {
@@ -349,6 +393,7 @@ class LockTable {
   std::uint32_t probe_mask_;  // stats_probe_period - 1 (period power of two)
   HandlePool<P, L> pool_;
   TableStats stats_;
+  std::unique_ptr<TableLatency> lat_;  // null unless collect_latency
 };
 
 }  // namespace cna::locktable

@@ -62,6 +62,8 @@
 #include "locktable/lock_table.h"
 #include "locktable/stripe_array.h"
 #include "locktable/table_stats.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace cna::locktable {
 
@@ -107,6 +109,10 @@ struct ResizableLockTableOptions {
   // counts back up, so a larger period trades signal latency for less probe
   // traffic on hot stripes.
   std::uint32_t stats_probe_period = 8;
+  // Per-stripe wait/hold latency telemetry on every snapshot ("resizable.*"
+  // metric names, shared across snapshots -- the registry hands back the
+  // same histogram for the same name, so resizes never reset distributions).
+  bool collect_latency = false;
 };
 
 // Lifetime view across all snapshots, plus the resize/epoch counters the
@@ -488,7 +494,9 @@ class ResizableLockTable {
                  .padding = padding,
                  .collect_stats = true,
                  .stats_probe_period =
-                     owner_table->options_.stats_probe_period}) {
+                     owner_table->options_.stats_probe_period,
+                 .collect_latency = owner_table->options_.collect_latency,
+                 .metrics_name = "resizable"}) {
       if (migrating) {
         ready.reset(
             new typename P::template Atomic<std::uint32_t>[table.stripes()]);
@@ -575,6 +583,13 @@ class ResizableLockTable {
     }
     next->prev.store(old_snap, std::memory_order_seq_cst);
     current_.store(next, std::memory_order_seq_cst);
+    // Drain latency: publish-to-migration-done, the window in which late
+    // readers can still take the validation-retry path.
+    const std::uint64_t drain_t0 =
+        telemetry::Enabled() ? telemetry::NowNs() : 0;
+    telemetry::TraceEmit(telemetry::TraceEventType::kResizeBegin,
+                         P::CurrentSocket(), P::CpuId(),
+                         /*arg=*/new_stripes);
 
     const std::size_t new_n = next->table.stripes();
     if (new_n > old_n) {
@@ -598,6 +613,15 @@ class ResizableLockTable {
     }
     next->migration_done.store(1, std::memory_order_seq_cst);
     next->prev.store(nullptr, std::memory_order_seq_cst);
+    if (drain_t0 != 0) {
+      const std::uint64_t drained = telemetry::NowNs() - drain_t0;
+      telemetry::ResizeDrainHistogram().RecordAt(P::CurrentSocket(),
+                                                 P::CpuId(), drained);
+      telemetry::TraceEmit(telemetry::TraceEventType::kResizeEnd,
+                           P::CurrentSocket(), P::CpuId(),
+                           /*arg=*/new_stripes, /*dur_ns=*/drained,
+                           /*ts_ns=*/drain_t0);
+    }
     (new_n > old_n ? grows_ : shrinks_)
         .fetch_add(1, std::memory_order_relaxed);
     domain_.Retire(old_snap, &RetireSnapshot);

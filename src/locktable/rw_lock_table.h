@@ -39,7 +39,9 @@
 #include "locktable/handle_pool.h"
 #include "locktable/lock_table.h"  // LockTableOptions
 #include "locktable/stripe_array.h"
+#include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
+#include "telemetry/metrics.h"
 
 namespace cna::locktable {
 
@@ -56,6 +58,10 @@ class RwLockTable {
       : array_(options.stripes, options.padding) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
+    }
+    if (options.collect_latency) {
+      lat_ = std::make_unique<RwTableLatency>(
+          options.metrics_name == nullptr ? "rwtable" : options.metrics_name);
     }
   }
 
@@ -85,6 +91,17 @@ class RwLockTable {
   }
 
   void LockSharedStripe(std::size_t s) {
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = telemetry::NowNs();
+      LockSharedStripeImpl(s);
+      lat_->read_wait.RecordAt(P::CurrentSocket(), P::CpuId(),
+                               telemetry::NowNs() - t0);
+      return;
+    }
+    LockSharedStripeImpl(s);
+  }
+
+  void LockSharedStripeImpl(std::size_t s) {
     Handle& h = shared_pool_.Checkout(s);
     L& lock = StripeLock(s);
     if (stats_.enabled()) {
@@ -141,6 +158,9 @@ class RwLockTable {
     Handle& h = excl_pool_.Checkout(s);
     if (StripeLock(s).TryLock(h)) {
       stats_.OnWriteAcquire(s, /*waited=*/false);
+      if (lat_ != nullptr && telemetry::Enabled()) {
+        lat_->tracker.Push(P::CpuId(), s, telemetry::NowNs());
+      }
       return true;
     }
     stats_.OnTryLockFailure(s);
@@ -149,6 +169,13 @@ class RwLockTable {
   }
 
   void UnlockExclusiveStripe(std::size_t s) {
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = lat_->tracker.Pop(P::CpuId(), s);
+      if (t0 != 0) {
+        lat_->write_hold.RecordAt(P::CurrentSocket(), P::CpuId(),
+                                  telemetry::NowNs() - t0);
+      }
+    }
     Handle* h = excl_pool_.Detach(s);
     StripeLock(s).Unlock(*h);
     excl_pool_.Recycle(h);
@@ -318,6 +345,18 @@ class RwLockTable {
   }
 
   void AcquireExclusiveStripe(std::size_t s) {
+    if (lat_ != nullptr && telemetry::Enabled()) {
+      const std::uint64_t t0 = telemetry::NowNs();
+      AcquireExclusiveStripeImpl(s);
+      const std::uint64_t t1 = telemetry::NowNs();
+      lat_->write_wait.RecordAt(P::CurrentSocket(), P::CpuId(), t1 - t0);
+      lat_->tracker.Push(P::CpuId(), s, t1);
+      return;
+    }
+    AcquireExclusiveStripeImpl(s);
+  }
+
+  void AcquireExclusiveStripeImpl(std::size_t s) {
     Handle& h = excl_pool_.Checkout(s);
     L& lock = StripeLock(s);
     if (stats_.enabled()) {
@@ -341,6 +380,7 @@ class RwLockTable {
   HandlePool<P, L> shared_pool_;
   HandlePool<P, L> excl_pool_;
   RwTableStats stats_;
+  std::unique_ptr<RwTableLatency> lat_;  // null unless collect_latency
 };
 
 }  // namespace cna::locktable

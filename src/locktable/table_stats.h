@@ -45,11 +45,12 @@ struct TableStatsSummary {
   std::size_t occupied_stripes = 0;       // stripes with >= 1 acquisition
   std::uint64_t max_stripe_acquisitions = 0;  // hottest stripe
 
-  // Snapshot of locks::GlobalCnaCounters() (meaningful when the table's lock
-  // is a CNA variant with Cfg::kCollectStats).
-  std::uint64_t cna_releases = 0;
-  std::uint64_t cna_local_handovers = 0;
-  std::uint64_t cna_secondary_flushes = 0;
+  // Full snapshot of locks::GlobalCnaCounters() (meaningful when the table's
+  // lock is a CNA variant with Cfg::kCollectStats).  The whole struct is
+  // snapshotted so counters added to CnaEventCounters cannot silently drift
+  // out of this summary (fifo_handovers/shuffle_skips/queue_alterations/
+  // waiters_moved used to be dropped here).
+  locks::CnaCountersSnapshot cna;
 
   double Occupancy() const {
     return stripes == 0 ? 0.0
@@ -121,11 +122,7 @@ class TableStats {
         out.max_stripe_acquisitions = acq;
       }
     }
-    const locks::CnaEventCounters& g = locks::GlobalCnaCounters();
-    out.cna_releases = g.releases.load(std::memory_order_relaxed);
-    out.cna_local_handovers = g.local_handovers.load(std::memory_order_relaxed);
-    out.cna_secondary_flushes =
-        g.secondary_flushes.load(std::memory_order_relaxed);
+    out.cna = locks::SnapshotCnaCounters();
     return out;
   }
 

@@ -1,0 +1,222 @@
+// Fixed-size per-thread event rings for lock tracing.
+//
+// When tracing is enabled, instrumented slow paths append compact records
+// (slow-path entry, handoff kind, secondary-queue moves, resize begin/end,
+// epoch advance/reclaim) to a per-thread ring.  Rings are fixed-size and
+// overwrite oldest-first, so tracing cost is bounded no matter how long a run
+// lasts; export.cc converts the collected records to Chrome trace-event JSON
+// that loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Concurrency: each ring is written by one OS thread (all simulator fibers on
+// a thread share its ring; the recorded tid distinguishes them) and read by
+// the collector.  A plain std::atomic_flag spinlock per ring keeps the
+// writer/collector race TSan-clean; the writer's acquisition is uncontended
+// except during collection, and the guard is never held across a yield
+// point.  All cells are plain std::atomic -- diagnostics, never P::Atomic.
+#ifndef CNA_TELEMETRY_TRACE_H_
+#define CNA_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace cna::telemetry {
+
+enum class TraceEventType : std::uint16_t {
+  kLockSlowPath = 0,    // dur = wait time in the MCS/CNA queue
+  kHandoffLocal = 1,    // unlock passed to a same-socket successor
+  kHandoffSecondary = 2,  // unlock flushed the secondary queue head
+  kHandoffFifo = 3,     // plain FIFO handover
+  kSecondaryMove = 4,   // find_successor moved waiters (arg = count)
+  kCombineBatch = 5,    // flat-combining drain (arg = batch size)
+  kResizeBegin = 6,     // resharding migration started (arg = new stripes)
+  kResizeEnd = 7,       // resharding migration finished (dur = drain time)
+  kEpochAdvance = 8,    // global epoch advanced (arg = new epoch)
+  kEpochReclaim = 9,    // quiesced retirees freed (arg = count)
+  kWriterWait = 10,     // rwlock writer slow path (dur = wait)
+  kReaderWait = 11,     // rwlock reader slow path (dur = wait)
+};
+
+inline const char* TraceEventName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kLockSlowPath:
+      return "lock.slow_path";
+    case TraceEventType::kHandoffLocal:
+      return "lock.handoff_local";
+    case TraceEventType::kHandoffSecondary:
+      return "lock.handoff_secondary";
+    case TraceEventType::kHandoffFifo:
+      return "lock.handoff_fifo";
+    case TraceEventType::kSecondaryMove:
+      return "lock.secondary_move";
+    case TraceEventType::kCombineBatch:
+      return "combining.batch";
+    case TraceEventType::kResizeBegin:
+      return "resize.begin";
+    case TraceEventType::kResizeEnd:
+      return "resize.end";
+    case TraceEventType::kEpochAdvance:
+      return "epoch.advance";
+    case TraceEventType::kEpochReclaim:
+      return "epoch.reclaim";
+    case TraceEventType::kWriterWait:
+      return "rwlock.writer_wait";
+    case TraceEventType::kReaderWait:
+      return "rwlock.reader_wait";
+  }
+  return "unknown";
+}
+
+struct TraceRecord {
+  std::uint64_t ts_ns = 0;   // event start (NowNs())
+  std::uint64_t dur_ns = 0;  // 0 => instant event
+  std::uint64_t arg = 0;     // event-specific payload
+  std::uint32_t tid = 0;     // context id (P::CpuId()) of the recorder
+  std::uint16_t type = 0;    // TraceEventType
+  std::uint16_t socket = 0;  // recorder's socket at event time
+};
+
+// Separate switch from the metrics flag: histograms are cheap enough to leave
+// on for a whole bench, rings are sized for focused windows.
+inline std::atomic<bool>& TraceEnabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline bool TraceEnabled() {
+  return TraceEnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetTraceEnabled(bool on) {
+  TraceEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  void Emit(TraceEventType type, int socket, int tid, std::uint64_t arg,
+            std::uint64_t dur_ns, std::uint64_t ts_ns) {
+    Guard g(busy_);
+    TraceRecord& r = records_[head_ % kCapacity];
+    r.ts_ns = ts_ns;
+    r.dur_ns = dur_ns;
+    r.arg = arg;
+    r.tid = static_cast<std::uint32_t>(tid < 0 ? 0 : tid);
+    r.type = static_cast<std::uint16_t>(type);
+    r.socket = static_cast<std::uint16_t>(socket < 0 ? 0 : socket);
+    ++head_;
+  }
+
+  // Appends this ring's records, oldest first, to `out`.
+  void Collect(std::vector<TraceRecord>* out) const {
+    Guard g(busy_);
+    const std::uint64_t n = head_ < kCapacity ? head_ : kCapacity;
+    const std::uint64_t start = head_ - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out->push_back(records_[(start + i) % kCapacity]);
+    }
+  }
+
+  void Clear() {
+    Guard g(busy_);
+    head_ = 0;
+  }
+
+  std::uint64_t emitted() const {
+    Guard g(busy_);
+    return head_;
+  }
+
+ private:
+  class Guard {
+   public:
+    explicit Guard(std::atomic_flag& busy) : busy_(busy) {
+      while (busy_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~Guard() { busy_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag& busy_;
+  };
+
+  mutable std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::uint64_t head_ = 0;
+  TraceRecord records_[kCapacity];
+};
+
+// Owns every thread's ring.  Rings are handed out once per OS thread and
+// live until process exit (threads may come and go; their records remain
+// collectable).
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global() {
+    static TraceBuffer buffer;
+    return buffer;
+  }
+
+  TraceRing& SelfRing() {
+    thread_local TraceRing* ring = nullptr;
+    if (ring == nullptr) {
+      std::lock_guard<std::mutex> g(mu_);
+      rings_.push_back(std::make_unique<TraceRing>());
+      ring = rings_.back().get();
+    }
+    return *ring;
+  }
+
+  std::vector<TraceRecord> CollectAll() const {
+    std::vector<TraceRecord> out;
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& ring : rings_) {
+      ring->Collect(&out);
+    }
+    return out;
+  }
+
+  void ClearAll() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& ring : rings_) {
+      ring->Clear();
+    }
+  }
+
+  std::uint64_t TotalEmitted() const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) {
+      total += ring->emitted();
+    }
+    return total;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+// The one call instrumented code makes.  Checks the trace flag itself so call
+// sites stay a single line; `ts_ns` defaults to "now" for instants -- timed
+// events pass their recorded start.
+inline void TraceEmit(TraceEventType type, int socket, int tid,
+                      std::uint64_t arg = 0, std::uint64_t dur_ns = 0,
+                      std::uint64_t ts_ns = 0) {
+  if (!TraceEnabled()) {
+    return;
+  }
+  TraceBuffer::Global().SelfRing().Emit(type, socket, tid, arg, dur_ns,
+                                        ts_ns == 0 ? NowNs() : ts_ns);
+}
+
+inline std::vector<TraceRecord> CollectTrace() {
+  return TraceBuffer::Global().CollectAll();
+}
+inline void ClearTrace() { TraceBuffer::Global().ClearAll(); }
+
+}  // namespace cna::telemetry
+
+#endif  // CNA_TELEMETRY_TRACE_H_

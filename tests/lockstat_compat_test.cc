@@ -1,0 +1,239 @@
+// Compatibility proof for the rebuilt LockStatRegistry (src/kernel/lockstat):
+// the sharded-cell + interned-SiteId implementation must be observably
+// identical to the original mutex + string-keyed map it replaced.  The
+// original logic is copied here verbatim as a reference oracle; both
+// registries are fed identical deterministic (lock, site, contended)
+// sequences and must produce identical Snapshot() and ContendedLocks()
+// output.  A MiniVfs workload then checks the same property end-to-end
+// through real call sites.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "kernel/lockstat.h"
+#include "kernel/minivfs.h"
+#include "platform/real_platform.h"
+
+namespace cna {
+namespace {
+
+using kernel::LockStatRegistry;
+
+// ---------------------------------------------------------------------------
+// Reference oracle: the pre-rework registry, a mutex around a string-keyed
+// map.  Same observable surface (Record / Reset / Snapshot / ContendedLocks),
+// trivially correct, unusable on hot paths -- which is why production moved
+// to interned ids, not because the semantics changed.
+// ---------------------------------------------------------------------------
+
+class ReferenceRegistry {
+ public:
+  using SiteKey = LockStatRegistry::SiteKey;
+  using SiteStats = LockStatRegistry::SiteStats;
+
+  void Record(const std::string& lock_name, const std::string& call_site,
+              bool contended) {
+    SiteStats& s = sites_[SiteKey{lock_name, call_site}];
+    s.acquisitions++;
+    if (contended) {
+      s.contended++;
+    }
+  }
+
+  void Reset() { sites_.clear(); }
+
+  std::vector<std::pair<SiteKey, SiteStats>> Snapshot() const {
+    std::vector<std::pair<SiteKey, SiteStats>> out;
+    out.reserve(sites_.size());
+    for (const auto& [key, stats] : sites_) {
+      out.emplace_back(key, stats);
+    }
+    return out;
+  }
+
+  std::vector<LockStatRegistry::ContendedLock> ContendedLocks(
+      double min_rate, std::uint64_t min_acquisitions) const {
+    std::vector<LockStatRegistry::ContendedLock> out;
+    for (const auto& [key, stats] : sites_) {
+      if (stats.acquisitions < min_acquisitions ||
+          stats.ContentionRate() < min_rate) {
+        continue;
+      }
+      if (out.empty() || out.back().lock_name != key.lock_name) {
+        out.push_back({key.lock_name, {}});
+      }
+      out.back().call_sites.push_back(key.call_site);
+    }
+    return out;
+  }
+
+ private:
+  std::map<SiteKey, SiteStats> sites_;
+};
+
+void ExpectSameSnapshot(
+    const std::vector<std::pair<LockStatRegistry::SiteKey,
+                                LockStatRegistry::SiteStats>>& got,
+    const std::vector<std::pair<LockStatRegistry::SiteKey,
+                                LockStatRegistry::SiteStats>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first.lock_name, want[i].first.lock_name) << "row " << i;
+    EXPECT_EQ(got[i].first.call_site, want[i].first.call_site) << "row " << i;
+    EXPECT_EQ(got[i].second.acquisitions, want[i].second.acquisitions)
+        << got[i].first.lock_name << "/" << got[i].first.call_site;
+    EXPECT_EQ(got[i].second.contended, want[i].second.contended)
+        << got[i].first.lock_name << "/" << got[i].first.call_site;
+  }
+}
+
+void ExpectSameContended(
+    const std::vector<LockStatRegistry::ContendedLock>& got,
+    const std::vector<LockStatRegistry::ContendedLock>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].lock_name, want[i].lock_name);
+    EXPECT_EQ(got[i].call_sites, want[i].call_sites);
+  }
+}
+
+TEST(LockStatCompat, RandomSequencesMatchReference) {
+  auto& reg = LockStatRegistry::Global();
+  reg.Reset();
+  ReferenceRegistry oracle;
+
+  const std::vector<std::string> locks = {"files_struct.file_lock",
+                                          "file_lock_context.flc_lock",
+                                          "lockref.lock", "sb_lock"};
+  const std::vector<std::string> sites = {"__alloc_fd", "__close_fd",
+                                          "fcntl_setlk", "posix_lock_inode",
+                                          "d_alloc", "dput"};
+  XorShift64 rng = XorShift64::FromSeed(0x10c5);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::string& lock = locks[rng.NextBelow(locks.size())];
+    const std::string& site = sites[rng.NextBelow(sites.size())];
+    const bool contended = rng.NextBelow(100) < 37;
+    reg.Record(lock, site, contended);
+    oracle.Record(lock, site, contended);
+  }
+
+  ExpectSameSnapshot(reg.Snapshot(), oracle.Snapshot());
+  for (const double rate : {0.0, 0.1, 0.35, 0.5, 1.0}) {
+    for (const std::uint64_t min_acq : {std::uint64_t{1}, std::uint64_t{100},
+                                        std::uint64_t{5000}}) {
+      ExpectSameContended(reg.ContendedLocks(rate, min_acq),
+                          oracle.ContendedLocks(rate, min_acq));
+    }
+  }
+  reg.Reset();
+  oracle.Reset();
+  ExpectSameSnapshot(reg.Snapshot(), oracle.Snapshot());
+}
+
+TEST(LockStatCompat, InternReturnsStableIdsAndRecordSiteCounts) {
+  auto& reg = LockStatRegistry::Global();
+  reg.Reset();
+  const LockStatRegistry::SiteId a = reg.Intern("lockI", "siteA");
+  const LockStatRegistry::SiteId b = reg.Intern("lockI", "siteB");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.Intern("lockI", "siteA"), a);
+  // Interned-but-never-recorded sites stay invisible.
+  EXPECT_TRUE(reg.Snapshot().empty());
+  for (int i = 0; i < 300; ++i) {
+    reg.RecordSite(a, i % 3 == 0);
+  }
+  reg.RecordSite(b, false);
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first.call_site, "siteA");
+  EXPECT_EQ(snap[0].second.acquisitions, 300u);
+  EXPECT_EQ(snap[0].second.contended, 100u);
+  EXPECT_EQ(snap[1].second.acquisitions, 1u);
+  // Record() resolves to the same interned site as RecordSite(id).
+  reg.Record("lockI", "siteB", true);
+  const auto snap2 = reg.Snapshot();
+  EXPECT_EQ(snap2[1].second.acquisitions, 2u);
+  EXPECT_EQ(snap2[1].second.contended, 1u);
+  reg.Reset();
+}
+
+// Concurrent string-keyed recording: totals must be exact (every record lands
+// in exactly one cell) and the intern race on a fresh pair must never lose a
+// count.  Run under TSan in CI.
+TEST(LockStatCompat, ConcurrentRecordIsExact) {
+  auto& reg = LockStatRegistry::Global();
+  reg.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.Record("race.lock", i % 2 == 0 ? "siteEven" : "siteOdd",
+                   (i + t) % 4 == 0);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [key, stats] : snap) {
+    EXPECT_EQ(key.lock_name, "race.lock");
+    total += stats.acquisitions;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  reg.Reset();
+}
+
+// End-to-end through MiniVfs call sites: the same single-threaded workload
+// must produce byte-identical lockstat reports before and after a Reset --
+// i.e. the rebuilt registry is deterministic and Reset really zeroes it.
+TEST(LockStatCompat, MiniVfsWorkloadIsDeterministicAcrossReset) {
+  using Vfs = kernel::MiniVfs<RealPlatform, qspin::SlowPathKind::kCna>;
+  auto& reg = LockStatRegistry::Global();
+
+  const auto run_workload = [] {
+    kernel::MiniVfsOptions o;
+    o.max_fds = 128;
+    o.lockstat_accounting = true;
+    Vfs vfs(o);
+    const int ino = vfs.CreateInode();
+    for (int round = 0; round < 10; ++round) {
+      const int fd = vfs.AllocFd(ino);
+      ASSERT_GE(fd, 0);
+      vfs.FcntlSetLk(fd, 0, round, round + 1, true);
+      vfs.FcntlUnlock(fd, 0, round, round + 1);
+      vfs.CloseFd(fd);
+      const int dir = vfs.CreateDirectory();
+      const int fd2 = vfs.Open(dir, static_cast<std::uint64_t>(round));
+      ASSERT_GE(fd2, 0);
+      vfs.Close(fd2);
+    }
+  };
+
+  reg.Reset();
+  run_workload();
+  const auto first = reg.Snapshot();
+  const auto first_contended = reg.ContendedLocks(0.0, 1);
+  ASSERT_FALSE(first.empty());
+
+  reg.Reset();
+  EXPECT_TRUE(reg.Snapshot().empty());
+  run_workload();
+  const auto second = reg.Snapshot();
+  ExpectSameSnapshot(second, first);
+  ExpectSameContended(reg.ContendedLocks(0.0, 1), first_contended);
+  reg.Reset();
+}
+
+}  // namespace
+}  // namespace cna
