@@ -45,6 +45,7 @@
 #include "locktable/combining.h"
 #include "locktable/lock_table.h"
 #include "platform/real_platform.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -137,6 +138,55 @@ void SimSweep(const std::vector<int>& thread_ladder,
   }
 }
 
+// Latency pass: the distribution behind the throughput win.  Re-runs the
+// CNA-combining point with "combining.*" telemetry on and reports, per key
+// skew, the submit-to-completion wait percentiles next to the batch-size
+// distribution -- uniform keys should show batch ~1 (pass-through fast path)
+// while the hot stripe shows the combiner absorbing whole backlogs per
+// acquisition.
+void LatencyPass(int threads, std::uint64_t window_ns) {
+  telemetry::SetEnabled(true);
+  auto& wait = telemetry::Registry::Global().GetHistogram("combining.wait_ns");
+  auto& batch =
+      telemetry::Registry::Global().GetHistogram("combining.batch_size");
+  std::vector<std::string> cols = {"batch-mean", "batch-p99"};
+  cols = harness::WithPercentileColumns(std::move(cols), "wait");
+  harness::SeriesTable table(
+      "Combining sweep: op wait + batch size vs hot%, CNA-combining, " +
+          std::to_string(threads) + " threads (simulated 2-socket)",
+      "hot%", cols);
+  for (int hot_pct : {0, kHotPct}) {
+    const auto wait_before = wait.Snapshot();
+    const auto batch_before = batch.Snapshot();
+    apps::CombiningShardedKvOptions o;
+    o.key_range = kKeyRange;
+    o.lock_stripes = kStripes;
+    o.hot_pct = hot_pct;
+    o.hot_key = 0;
+    o.cs_compute_ns = 50;
+    o.collect_latency = true;
+    auto kv = std::make_shared<apps::CombiningShardedKv<SimPlatform, Cna>>(o);
+    (void)harness::RunOnSim(
+        sim::MachineConfig::TwoSocket(), threads, window_ns, [kv](int t) {
+          XorShift64 rng =
+              XorShift64::FromSeed(0x1a7c + static_cast<std::uint64_t>(t));
+          return [kv, rng]() mutable { kv->HotOp(rng); };
+        });
+    const auto wait_d = wait.Snapshot() - wait_before;
+    const auto batch_d = batch.Snapshot() - batch_before;
+    std::vector<double> row = {
+        batch_d.count != 0
+            ? static_cast<double>(batch_d.sum) /
+                  static_cast<double>(batch_d.count)
+            : 0.0,
+        static_cast<double>(batch_d.P99())};
+    harness::AppendPercentiles(row, wait_d);
+    table.AddRow(hot_pct, row);
+  }
+  table.Emit();
+  telemetry::SetEnabled(false);
+}
+
 // Stats pass: tie the combining win back to the contention counters, via the
 // CombiningShardedKv substrate with both counter families enabled.
 void StatsPass(int threads, std::uint64_t window_ns) {
@@ -224,6 +274,12 @@ int main() {
       std::chrono::nanoseconds(harness::BenchWindowNs(50'000'000));
   const std::vector<int> thread_ladder =
       harness::ClipThreads({1, 2, 4, 8, 16});
+  harness::SetBenchInfo(
+      "combining_sweep",
+      "machine=2-socket stripes=" + std::to_string(kStripes) +
+          " hot_pct=" + std::to_string(kHotPct) +
+          " threads_max=" + std::to_string(thread_ladder.back()) +
+          " window_ns=" + std::to_string(sim_window));
 
   SimSweep(thread_ladder, sim_window);
 
@@ -243,6 +299,7 @@ int main() {
   }
   real_table.Emit();
 
+  LatencyPass(thread_ladder.back(), sim_window);
   StatsPass(thread_ladder.back(), sim_window);
   return 0;
 }

@@ -20,6 +20,7 @@
 //
 // Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "apps/sharded_kv.h"
 #include "bench_common.h"
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
 
 namespace {
 
@@ -115,6 +117,44 @@ void LatencyPass(int threads, std::uint64_t window_ns) {
   telemetry::SetEnabled(false);
 }
 
+// Re-runs the 16-stripe CNA point with a manually-ticked Sampler driven from
+// fiber 0 on *simulated* time: 16 evenly spaced ticks over the window turn
+// the cumulative wait histogram into an acquisition-rate trajectory, recorded
+// into the bench JSON document's "rate_curves".  This is the simulator-side
+// twin of the background sampler cna_top attaches to.
+void RateCurvePass(int threads, std::uint64_t window_ns) {
+  telemetry::SetEnabled(true);
+  auto opts = SweepOptions(16);
+  opts.collect_latency = true;
+  auto sampler = std::make_shared<telemetry::Sampler>(
+      &telemetry::Registry::Global(),
+      telemetry::SamplerOptions{.capacity = 64, .interval_ns = 0});
+  const std::uint64_t tick_every = window_ns / 16 ? window_ns / 16 : 1;
+  auto kv = std::make_shared<apps::ShardedKv<SimPlatform, Cna>>(opts);
+  (void)harness::RunOnSim(
+      sim::MachineConfig::TwoSocket(), threads, window_ns,
+      [kv, sampler, tick_every](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0x2a7e + static_cast<std::uint64_t>(t));
+        if (t != 0) {
+          return std::function<void()>([kv, rng]() mutable { kv->MixedOp(rng); });
+        }
+        auto next = std::make_shared<std::uint64_t>(tick_every);
+        return std::function<void()>([kv, rng, sampler, next,
+                                      tick_every]() mutable {
+          kv->MixedOp(rng);
+          const std::uint64_t now = sim::Machine::Active()->NowNs();
+          if (now >= *next) {
+            sampler->Tick(now);
+            *next = now + tick_every;
+          }
+        });
+      });
+  harness::RecordRateCurve("locktable.wait_ns", "cna x16 acquisition rate",
+                           sampler->RateCurve("locktable.wait_ns"));
+  telemetry::SetEnabled(false);
+}
+
 void StatsPass(int threads, std::uint64_t window_ns) {
   // The per-stripe occupancy/contention counters, demonstrated on the
   // 16-stripe CNA point (hot enough that contention is visible, small enough
@@ -149,6 +189,10 @@ int main() {
   // Ladder so CNA_BENCH_MAX_THREADS can clip the point (ClipThreads filters
   // a list); the sweep itself runs at one thread count, the largest allowed.
   const int threads = harness::ClipThreads({2, 4, 8, 16, 36}).back();
+  harness::SetBenchInfo(
+      "locktable_sweep",
+      "machine=2-socket threads=" + std::to_string(threads) +
+          " window_ns=" + std::to_string(window) + " locks=mcs,cna,cna-opt");
 
   const std::vector<std::string> locks = {"MCS", "CNA", "CNA-opt"};
   harness::SeriesTable throughput(
@@ -185,6 +229,7 @@ int main() {
       million_bytes, static_cast<double>(million_bytes) / (1 << 20));
 
   LatencyPass(threads, window);
+  RateCurvePass(threads, window);
   StatsPass(threads, window);
   return 0;
 }

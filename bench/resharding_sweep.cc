@@ -31,6 +31,7 @@
 
 #include "apps/sharded_kv.h"
 #include "bench_common.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -100,6 +101,11 @@ std::shared_ptr<apps::AdaptiveShardedKv<SimPlatform, Cna>> AdaptiveKv() {
 int main() {
   const std::uint64_t window = harness::BenchWindowNs(2'000'000);
   const int threads = harness::ClipThreads({2, 4, 8, 16}).back();
+  harness::SetBenchInfo(
+      "resharding_sweep",
+      "machine=2-socket threads=" + std::to_string(threads) +
+          " window_ns=" + std::to_string(window) + " stripes=" +
+          std::to_string(kSmallStripes) + ".." + std::to_string(kLargeStripes));
 
   struct Phase {
     const char* name;
@@ -123,6 +129,24 @@ int main() {
           std::to_string(threads) + " threads, 2-socket, cna",
       "phase", columns);
 
+  // Resize cost distributions: with telemetry on, every lock-step stripe
+  // drain records into "resizable.resize_drain_ns" and every epoch
+  // reclamation into "epoch.grace_ns"; the per-phase deltas show when the
+  // adaptive table pays its migration bill (the uniform-adapting phase) and
+  // that the steady phases pay nothing.
+  telemetry::SetEnabled(true);
+  auto& drain_hist =
+      telemetry::Registry::Global().GetHistogram("resizable.resize_drain_ns");
+  auto& grace_hist =
+      telemetry::Registry::Global().GetHistogram("epoch.grace_ns");
+  std::vector<std::string> drain_cols = {"drains"};
+  drain_cols = harness::WithPercentileColumns(std::move(drain_cols), "drain");
+  drain_cols.push_back("epoch-grace p99us");
+  harness::SeriesTable drain_table(
+      "Resharding sweep: stripe-drain + epoch-grace latency per phase "
+      "(adaptive table)",
+      "phase", drain_cols);
+
   std::printf("adaptive starts at %zu stripes\n", adaptive->table().stripes());
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const Phase& phase = phases[i];
@@ -131,8 +155,16 @@ int main() {
         RunPhase(small, threads, window, phase.hot_pct, seed);
     const auto r_large =
         RunPhase(large, threads, window, phase.hot_pct, seed);
+    const auto drain_before = drain_hist.Snapshot();
+    const auto grace_before = grace_hist.Snapshot();
     const auto r_adapt =
         RunPhase(adaptive, threads, window, phase.hot_pct, seed);
+    const auto drain_d = drain_hist.Snapshot() - drain_before;
+    const auto grace_d = grace_hist.Snapshot() - grace_before;
+    std::vector<double> drain_row = {static_cast<double>(drain_d.count)};
+    harness::AppendPercentiles(drain_row, drain_d);
+    drain_row.push_back(static_cast<double>(grace_d.P99()) / 1000.0);
+    drain_table.AddRow(static_cast<double>(i), drain_row);
     throughput.AddRow(static_cast<double>(i),
                       {r_small.throughput_mops, r_large.throughput_mops,
                        r_adapt.throughput_mops});
@@ -146,6 +178,8 @@ int main() {
         adaptive->table().stripes());
   }
   throughput.Emit();
+  drain_table.Emit();
+  telemetry::SetEnabled(false);
 
   const auto s = adaptive->table().Summary();
   std::printf(

@@ -23,6 +23,7 @@
 // Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
 #include <pthread.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -41,6 +42,7 @@
 #include "sim/machine.h"
 #include "sim/sim_platform.h"
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
 
 namespace {
 
@@ -196,6 +198,11 @@ int main() {
       std::chrono::nanoseconds(harness::BenchWindowNs(50'000'000));
   const std::vector<int> thread_ladder = harness::ClipThreads({2, 4, 8, 16});
   const std::vector<int> read_ratios = {50, 90, 95, 100};
+  harness::SetBenchInfo(
+      "rwtable_readmostly",
+      "threads_max=" + std::to_string(thread_ladder.back()) +
+          " window_ns=" + std::to_string(window.count()) +
+          " virtual_sockets=" + std::to_string(kVirtualSockets));
 
   const std::vector<std::string> variants = {
       "pthread_rwlock", "CNA-rw", "CNA-rw-compact", "RwTable-1024"};
@@ -224,6 +231,16 @@ int main() {
     const int threads = thread_ladder.back();
     constexpr int kPct = 95;
     telemetry::SetEnabled(true);
+    // Background-mode sampler over the latency pass: ticks on wall time while
+    // the real-thread runs execute, yielding the read-acquisition rate
+    // trajectory for the bench JSON "rate_curves".
+    telemetry::Sampler sampler(
+        &telemetry::Registry::Global(),
+        telemetry::SamplerOptions{
+            .capacity = 256,
+            .interval_ns = std::max<std::uint64_t>(
+                static_cast<std::uint64_t>(window.count()) / 8, 1'000'000)});
+    sampler.Start();
     harness::SeriesTable table(
         "RwLockTable: throughput (ops/us) vs stripes, 95% reads, " +
             std::to_string(threads) + " threads",
@@ -237,6 +254,10 @@ int main() {
       table.AddRow(static_cast<double>(stripes), row);
     }
     table.Emit();
+    sampler.Stop();
+    harness::RecordRateCurve("rwtable.read_wait_ns",
+                             "read acquisition rate, 95% reads stripe sweep",
+                             sampler.RateCurve("rwtable.read_wait_ns"));
     telemetry::SetEnabled(false);
   }
 

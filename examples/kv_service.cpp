@@ -9,10 +9,14 @@
 // with a round-trip through the C surface (cna_locktable_*).
 //
 // Build & run:  ./build/example_kv_service [scale=1]
-// (each lock x stripe configuration runs for scale * 100 ms)
+//               ./build/example_kv_service --duration <ms> [--serve <port>]
+// (each lock x stripe configuration runs for scale * 100 ms, or exactly
+// --duration ms; --serve starts the telemetry HTTP endpoint + background
+// sampler for the run -- curl http://127.0.0.1:<port>/metrics while it goes)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -22,6 +26,7 @@
 #include "locks/cna.h"
 #include "locks/lock_api.h"
 #include "locks/mcs.h"
+#include "locks/cna_stats.h"
 #include "platform/real_platform.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
@@ -31,15 +36,28 @@ namespace {
 
 using namespace cna;
 
+// Each demo phase reports from a clean slate: without this, the stripe-sweep
+// phase's counters would bleed into the telemetry demo's exports (and into
+// anything scraping --serve).  The sampler re-baselines so its next delta is
+// relative to the reset state instead of wrapping.
+void ResetPhaseTelemetry() {
+  telemetry::Registry::Global().ResetAll();
+  locks::GlobalCnaCounters().Reset();
+  cna_sampler_rebaseline();
+}
+
 template <typename L>
 void RunService(int threads, std::size_t stripes,
-                std::chrono::milliseconds window) {
+                std::chrono::milliseconds window, bool live_telemetry) {
   apps::ShardedKvOptions o;
   o.key_range = 1 << 16;
   o.lock_stripes = stripes;
   o.get_pct = 70;
   o.put_pct = 20;  // remaining 10%: two-key transfers via MultiGuard
   o.cs_compute_ns = 0;
+  // Under --serve the whole run is observable: per-stripe wait/hold latency
+  // feeds the sampler so /series and cna_top show live rates per phase.
+  o.collect_latency = live_telemetry;
   apps::ShardedKv<RealPlatform, L> kv(o);
   for (std::uint64_t k = 0; k < o.key_range; k += 2) {
     kv.Put(k, k + 1);
@@ -121,9 +139,39 @@ void TelemetryDemo(int threads, std::chrono::milliseconds window) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
-  const auto window = std::chrono::milliseconds(100 * std::max(1, scale));
+  long duration_ms = 0;  // 0: derive from the legacy positional scale
+  int serve_port = -1;   // -1: no endpoint
+  int scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else {
+      scale = std::atoi(argv[i]);
+    }
+  }
+  const auto window = std::chrono::milliseconds(
+      duration_ms > 0 ? duration_ms : 100 * std::max(1, scale));
   const int threads = 4;
+
+  if (serve_port >= 0) {
+    // Live monitoring for the whole run: background sampler (100 ms ticks)
+    // feeding /series, plus the scrape endpoint.  Port 0 binds an ephemeral
+    // port; the bound port is printed either way so scripts can scrape it.
+    cna_sampler_start(100);
+    const int bound = cna_telemetry_serve_start(
+        static_cast<unsigned short>(serve_port));
+    if (bound < 0) {
+      std::fprintf(stderr, "failed to bind telemetry endpoint on port %d\n",
+                   serve_port);
+      return 1;
+    }
+    std::printf("telemetry: serving on http://127.0.0.1:%d "
+                "(/metrics /json /lockstat /series)\n", bound);
+    std::fflush(stdout);
+    telemetry::SetEnabled(true);
+  }
 
   std::printf(
       "sharded kv service, %d threads, %lld ms per configuration "
@@ -132,12 +180,20 @@ int main(int argc, char** argv) {
   for (std::size_t stripes : {std::size_t{1}, std::size_t{64},
                               std::size_t{4096}}) {
     std::printf("mcs:\n");
-    RunService<locks::McsLock<RealPlatform>>(threads, stripes, window);
+    RunService<locks::McsLock<RealPlatform>>(threads, stripes, window,
+                                             serve_port >= 0);
     std::printf("cna:\n");
-    RunService<locks::CnaLock<RealPlatform>>(threads, stripes, window);
+    RunService<locks::CnaLock<RealPlatform>>(threads, stripes, window,
+                                             serve_port >= 0);
   }
+  ResetPhaseTelemetry();
   CApiRoundTrip();
+  ResetPhaseTelemetry();
   TelemetryDemo(threads, window);
+  if (serve_port >= 0) {
+    cna_telemetry_serve_stop();
+    cna_sampler_stop();
+  }
   std::printf(
       "note: on a single-socket host MCS and CNA stripes perform alike; the "
       "NUMA effect appears on multi-socket machines (bench/locktable_sweep "

@@ -17,6 +17,8 @@
 #include "platform/real_platform.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/serve.h"
 #include "telemetry/trace.h"
 
 struct cna_mutex {
@@ -682,5 +684,83 @@ char* cna_telemetry_export(int format) {
 }
 
 void cna_telemetry_free(char* exported) { std::free(exported); }
+
+namespace {
+
+char* MallocString(const std::string& s) {
+  char* buf = static_cast<char*>(std::malloc(s.size() + 1));
+  if (buf == nullptr) {
+    return nullptr;
+  }
+  std::memcpy(buf, s.c_str(), s.size() + 1);
+  return buf;
+}
+
+// The serve endpoint the C surface manages (the global sampler backs its
+// /series route).
+cna::telemetry::TelemetryServer& GlobalServer() {
+  static cna::telemetry::TelemetryServer server;
+  return server;
+}
+
+}  // namespace
+
+void cna_sampler_start(long interval_ms) {
+  auto& sampler = cna::telemetry::Sampler::Global();
+  if (interval_ms > 0) {
+    sampler.set_interval_ns(static_cast<uint64_t>(interval_ms) * 1'000'000);
+  }
+  sampler.Start();
+}
+
+void cna_sampler_stop(void) { cna::telemetry::Sampler::Global().Stop(); }
+
+void cna_sampler_tick(uint64_t now_ns) {
+  cna::telemetry::Sampler::Global().Tick(now_ns);
+}
+
+uint64_t cna_sampler_ticks(void) {
+  return cna::telemetry::Sampler::Global().ticks();
+}
+
+double cna_sampler_rate(const char* metric, size_t window) {
+  if (metric == nullptr) {
+    return 0.0;
+  }
+  return cna::telemetry::Sampler::Global().CounterRate(metric, window);
+}
+
+char* cna_sampler_series_json(size_t window) {
+  try {
+    return MallocString(
+        cna::telemetry::Sampler::Global().SeriesJson(window));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_sampler_rebaseline(void) {
+  cna::telemetry::Sampler::Global().Rebaseline();
+}
+
+int cna_telemetry_serve_start(uint16_t port) {
+  auto& server = GlobalServer();
+  if (server.running()) {
+    return static_cast<int>(server.port());
+  }
+  cna::telemetry::ServeOptions options;
+  options.port = port;
+  options.sampler = &cna::telemetry::Sampler::Global();
+  if (!server.Start(options)) {
+    return -1;
+  }
+  return static_cast<int>(server.port());
+}
+
+void cna_telemetry_serve_stop(void) { GlobalServer().Stop(); }
+
+uint64_t cna_telemetry_serve_requests(void) {
+  return GlobalServer().requests_served();
+}
 
 }  // extern "C"

@@ -290,6 +290,54 @@ void cna_telemetry_reset(void);
 char* cna_telemetry_export(int format);
 void cna_telemetry_free(char* exported);
 
+// ---------------------------------------------------------------------------
+// Continuous sampling (src/telemetry/sampler.h): the process-global sampler
+// takes periodic registry snapshots into a fixed-capacity time-series ring
+// of deltas and derives windowed rates from it.  Background and manual-tick
+// modes share the ring; cna_sampler_tick works whether or not the background
+// thread is running.
+// ---------------------------------------------------------------------------
+
+// Starts the global background sampler (idempotent).  interval_ms <= 0 keeps
+// the current/default interval (100 ms).  Note: the interval of an already-
+// constructed sampler is fixed; pass it on first start.
+void cna_sampler_start(long interval_ms);
+void cna_sampler_stop(void);
+
+// One manual sample; now_ns = 0 means wall time (callers with their own
+// clock -- e.g. a simulator -- pass explicit monotone timestamps).
+void cna_sampler_tick(uint64_t now_ns);
+
+// Samples taken since start/rebaseline.
+uint64_t cna_sampler_ticks(void);
+
+// Windowed per-second rate of the named counter (or histogram observation
+// count) over the last `window` samples (0 = whole ring).
+double cna_sampler_rate(const char* metric, size_t window);
+
+// The time-series ring as JSON (the same payload the HTTP /series route
+// serves).  malloc'd; free with cna_telemetry_free.
+char* cna_sampler_series_json(size_t window);
+
+// Drops ring history and re-baselines at the registry's current state.
+void cna_sampler_rebaseline(void);
+
+// ---------------------------------------------------------------------------
+// HTTP scrape endpoint (src/telemetry/serve.h): /metrics (Prometheus),
+// /json, /lockstat, /series (the global sampler's ring), /healthz.  Binds
+// loopback only.
+// ---------------------------------------------------------------------------
+
+// Starts the endpoint on `port` (0 = ephemeral).  Returns the bound port,
+// or -1 if the socket could not be bound / a server is already running on a
+// different configuration.  Idempotent: returns the bound port when already
+// running.
+int cna_telemetry_serve_start(uint16_t port);
+void cna_telemetry_serve_stop(void);
+
+// Requests served since start (diagnostics; 0 when not running).
+uint64_t cna_telemetry_serve_requests(void);
+
 }  // extern "C"
 
 #endif  // CNA_CORE_PTHREAD_API_H_

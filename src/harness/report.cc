@@ -4,9 +4,102 @@
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
 
 namespace cna::harness {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON number: finite shortest-ish representation (NaN/inf are not JSON --
+// clamp to 0, a bench value that is NaN is already a bug the tables show).
+void AppendNumber(std::ostringstream& os, double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+// Accumulator behind CNA_BENCH_JSON.  A process runs one bench, so one
+// global document; guarded for the real-thread benches that Emit() from
+// driver code while a background sampler runs.
+struct BenchJsonState {
+  std::mutex mu;
+  std::string bench_name;
+  std::string config;
+  std::vector<std::string> tables;       // SeriesTable::ToJson() fragments
+  std::vector<std::string> rate_curves;  // pre-rendered curve objects
+  bool atexit_registered = false;
+
+  static BenchJsonState& Get() {
+    static BenchJsonState state;
+    return state;
+  }
+
+  // Must be called with mu held.
+  void EnsureAtExitLocked() {
+    if (!atexit_registered) {
+      atexit_registered = true;
+      std::atexit([] { FlushBenchJson(); });
+    }
+  }
+};
+
+std::string RenderBenchJsonLocked(BenchJsonState& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"bench\":\"" << JsonEscape(s.bench_name)
+     << "\",\"config\":\"" << JsonEscape(s.config) << "\",\"tables\":[";
+  for (std::size_t i = 0; i < s.tables.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << s.tables[i];
+  }
+  os << "],\"rate_curves\":[";
+  for (std::size_t i = 0; i < s.rate_curves.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << s.rate_curves[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
 
 std::vector<std::string> WithPercentileColumns(std::vector<std::string> names,
                                                const std::string& prefix) {
@@ -82,6 +175,33 @@ std::string SeriesTable::ToCsv(int value_precision) const {
   return os.str();
 }
 
+std::string SeriesTable::ToJson() const {
+  std::ostringstream os;
+  os << "{\"title\":\"" << JsonEscape(title_) << "\",\"x_label\":\""
+     << JsonEscape(x_label_) << "\",\"series\":[";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << '"' << JsonEscape(series_[i]) << '"';
+  }
+  os << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) {
+      os << ',';
+    }
+    os << '[';
+    AppendNumber(os, rows_[r].first);
+    for (double v : rows_[r].second) {
+      os << ',';
+      AppendNumber(os, v);
+    }
+    os << ']';
+  }
+  os << "]}";
+  return os.str();
+}
+
 void SeriesTable::Emit() const {
   std::fputs(ToText().c_str(), stdout);
   std::fputs("\n", stdout);
@@ -90,6 +210,68 @@ void SeriesTable::Emit() const {
     std::ofstream out(path, std::ios::app);
     out << ToCsv();
   }
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.tables.push_back(ToJson());
+  s.EnsureAtExitLocked();
+}
+
+void SetBenchInfo(const std::string& name, const std::string& config) {
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.bench_name = name;
+  s.config = config;
+  s.EnsureAtExitLocked();
+}
+
+void RecordRateCurve(const std::string& metric, const std::string& label,
+                     const std::vector<telemetry::RatePoint>& points) {
+  std::ostringstream os;
+  os << "{\"metric\":\"" << JsonEscape(metric) << "\",\"label\":\""
+     << JsonEscape(label) << "\",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << '[' << points[i].ts_ns << ',';
+    AppendNumber(os, points[i].per_sec);
+    os << ']';
+  }
+  os << "]}";
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.rate_curves.push_back(os.str());
+  s.EnsureAtExitLocked();
+}
+
+std::string BenchJsonDocument() {
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  return RenderBenchJsonLocked(s);
+}
+
+bool FlushBenchJson() {
+  const char* path = std::getenv("CNA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') {
+    return false;
+  }
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << RenderBenchJsonLocked(s) << '\n';
+  return out.good();
+}
+
+void ResetBenchJson() {
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.bench_name.clear();
+  s.config.clear();
+  s.tables.clear();
+  s.rate_curves.clear();
 }
 
 }  // namespace cna::harness

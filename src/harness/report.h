@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
 
 namespace cna::harness {
 
@@ -37,9 +38,12 @@ class SeriesTable {
   std::string ToText(int value_precision = 2) const;
   // CSV with the same content.
   std::string ToCsv(int value_precision = 4) const;
+  // One JSON object: {"title","x_label","series":[...],"rows":[[x,v...]]}.
+  std::string ToJson() const;
 
-  // Convenience: prints ToText() to stdout and, if the CNA_BENCH_CSV
-  // environment variable is set, appends ToCsv() to that file.
+  // Convenience: prints ToText() to stdout; if CNA_BENCH_CSV is set, appends
+  // ToCsv() to that file; if CNA_BENCH_JSON is set, adds ToJson() to the
+  // process's bench document (written at exit, see below).
   void Emit() const;
 
   const std::string& title() const { return title_; }
@@ -50,6 +54,45 @@ class SeriesTable {
   std::vector<std::string> series_;
   std::vector<std::pair<double, std::vector<double>>> rows_;
 };
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench pipeline.  When the CNA_BENCH_JSON environment
+// variable names a path, the process accumulates one JSON document --
+//
+//   {"schema_version": 1,
+//    "bench":  "<name>",              // SetBenchInfo, "" if never set
+//    "config": "<free-form k=v ...>",
+//    "tables": [<SeriesTable::ToJson()>, ...],   // every Emit()ed table
+//    "rate_curves": [{"metric": ..., "label": ...,
+//                     "points": [[ts_ns, per_sec], ...]}, ...]}
+//
+// -- and writes it to that path at process exit (or on FlushBenchJson()).
+// This is the BENCH_*.json trajectory format CI's bench-trajectory job
+// schema-validates and uploads; one file per bench invocation.
+// ---------------------------------------------------------------------------
+
+// Names the running bench and records its configuration string.  Call once
+// at the top of main(); later calls overwrite.
+void SetBenchInfo(const std::string& name, const std::string& config);
+
+// Adds a sampler-derived rate trajectory (telemetry::Sampler::RateCurve) to
+// the document, e.g. the acquisition-rate curve observed during one sweep
+// point.  No-op outside a CNA_BENCH_JSON run... except that it still
+// accumulates, so tests can inspect BenchJsonDocument() without env setup.
+void RecordRateCurve(const std::string& metric, const std::string& label,
+                     const std::vector<telemetry::RatePoint>& points);
+
+// The document as it stands (independent of CNA_BENCH_JSON; tests use this).
+std::string BenchJsonDocument();
+
+// Writes the document to CNA_BENCH_JSON now.  Returns false when the env
+// variable is unset or the file cannot be written.  Registered via atexit on
+// the first Emit()/SetBenchInfo/RecordRateCurve, so benches need no explicit
+// call.
+bool FlushBenchJson();
+
+// Drops accumulated tables/curves and bench info (tests).
+void ResetBenchJson();
 
 }  // namespace cna::harness
 

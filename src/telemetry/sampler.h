@@ -1,0 +1,398 @@
+// Continuous sampling over the telemetry registry: a time-series ring of
+// snapshot deltas.
+//
+// PR 6's registry is cumulative-only -- it can answer "how many acquisitions
+// ever" but not "what is the acquisition *rate* on stripe 14 right now, and
+// is it collapsing?".  That rate signal is exactly what concurrency
+// restriction (Avoiding Scalability Collapse by Restricting Concurrency,
+// PAPERS.md) keys its admission decisions off, so this module turns the
+// passive registry into a live one: a Sampler takes periodic snapshots,
+// stores the per-interval *delta* (counters and histogram buckets both
+// subtract cleanly, see HistogramSnapshot::operator-) in a fixed-capacity
+// ring of timestamped samples, and derives windowed rates and percentiles
+// from the ring.
+//
+// Two drive modes share every code path after the timestamp:
+//  * background -- Start() launches a thread that ticks every interval_ns of
+//    wall time.  The production mode; /series and cna_top read this ring.
+//  * manual     -- Tick(now_ns) from the caller.  The simulator mode: a
+//    designated fiber ticks on simulated time, so schedule exploration can
+//    drive (and test) the exact same delta algebra deterministically.
+//
+// Design rules inherited from metrics.h: the sampler only *reads* plain
+// std::atomic diagnostic cells and its own std::mutex-guarded ring -- never
+// P::Atomic -- so the NUMA simulator charges nothing for a tick and the
+// explored schedule is identical with the sampler on or off
+// (tests/sampler_test.cc pins this the same way telemetry_overhead_test.cc
+// pins the registry).
+#ifndef CNA_TELEMETRY_SAMPLER_H_
+#define CNA_TELEMETRY_SAMPLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace cna::telemetry {
+
+struct SamplerOptions {
+  // Ring capacity in samples.  128 samples at the default 100 ms interval is
+  // ~13 s of history -- enough for the saturation detector's windows while
+  // keeping the ring a few hundred KiB even with many metrics registered.
+  std::size_t capacity = 128;
+  // Background-mode tick period.
+  std::uint64_t interval_ns = 100'000'000;  // 100 ms
+};
+
+// One ring entry: the registry's change over (ts_ns - dt_ns, ts_ns].
+struct Sample {
+  std::uint64_t ts_ns = 0;  // tick time (wall ns in background mode,
+                            // caller-supplied -- e.g. simulated ns -- manual)
+  std::uint64_t dt_ns = 0;  // interval covered by this delta
+  RegistrySnapshot delta;
+};
+
+// A metric's rate trajectory over a window, one point per tick: the shape
+// cna_top sparklines and the bench JSON "rate_curves" arrays carry.
+struct RatePoint {
+  std::uint64_t ts_ns = 0;
+  double per_sec = 0.0;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(Registry* registry = &Registry::Global(),
+                   SamplerOptions options = {})
+      : registry_(registry), options_(options) {
+    if (options_.capacity < 2) {
+      options_.capacity = 2;
+    }
+    interval_ns_.store(options_.interval_ns, std::memory_order_relaxed);
+    baseline_ = registry_->Snapshot();
+    last_ = baseline_;
+  }
+
+  ~Sampler() { Stop(); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Takes one sample: delta = snapshot_now - snapshot_last.  `now_ns` of 0
+  // means wall time (background mode); manual callers pass their own clock
+  // (simulated time, a logical counter -- anything monotone).
+  void Tick(std::uint64_t now_ns = 0) {
+    const std::uint64_t ts = now_ns != 0 ? now_ns : NowNs();
+    RegistrySnapshot snap = registry_->Snapshot();
+    std::lock_guard<std::mutex> g(mu_);
+    Sample s;
+    s.ts_ns = ts;
+    s.dt_ns = last_ts_ns_ == 0 ? 0 : ts - last_ts_ns_;
+    s.delta = Delta(last_, snap);
+    last_ = std::move(snap);
+    last_ts_ns_ = ts;
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(std::move(s));
+    } else {
+      ring_[head_] = std::move(s);
+      head_ = (head_ + 1) % options_.capacity;
+    }
+    ++ticks_;
+  }
+
+  // Background mode.  Idempotent; Stop() (or destruction) joins the thread.
+  void Start() {
+    std::lock_guard<std::mutex> g(thread_mu_);
+    if (thread_.joinable()) {
+      return;
+    }
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      while (!stop_.load(std::memory_order_relaxed)) {
+        // wait_for (not sleep) so Stop() interrupts a long interval.
+        stop_cv_.wait_for(lk, std::chrono::nanoseconds(interval_ns()));
+        if (stop_.load(std::memory_order_relaxed)) {
+          break;
+        }
+        Tick();
+      }
+    });
+  }
+
+  void Stop() {
+    std::lock_guard<std::mutex> g(thread_mu_);
+    if (!thread_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(stop_mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> g(thread_mu_);
+    return thread_.joinable();
+  }
+
+  std::uint64_t ticks() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return ticks_;
+  }
+
+  const SamplerOptions& options() const { return options_; }
+
+  // Background tick period, adjustable while running (takes effect after the
+  // current wait expires at the latest).
+  std::uint64_t interval_ns() const {
+    return interval_ns_.load(std::memory_order_relaxed);
+  }
+  void set_interval_ns(std::uint64_t ns) {
+    if (ns > 0) {
+      interval_ns_.store(ns, std::memory_order_relaxed);
+    }
+  }
+
+  // Last `n` samples, oldest first (all retained samples when n == 0 or
+  // exceeds the ring's fill).
+  std::vector<Sample> Window(std::size_t n = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return WindowLocked(n);
+  }
+
+  // Windowed per-second rate of a counter, or of a histogram's observation
+  // count when no counter of that name ticked (histogram count-rate is the
+  // natural throughput proxy for the ".wait_ns" family: one observation per
+  // timed acquisition).  0 when the window covers no time.
+  double CounterRate(std::string_view name, std::size_t window = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::uint64_t total = 0;
+    std::uint64_t span_ns = 0;
+    for (const Sample& s : WindowLocked(window)) {
+      if (s.dt_ns == 0) {
+        continue;
+      }
+      span_ns += s.dt_ns;
+      total += CountIn(s.delta, name);
+    }
+    return span_ns == 0
+               ? 0.0
+               : static_cast<double>(total) * 1e9 /
+                     static_cast<double>(span_ns);
+  }
+
+  // Per-tick rate trajectory of a counter (or histogram count), oldest
+  // first.  Ticks with dt == 0 (the first after construction/reset) are
+  // skipped -- they have no rate.
+  std::vector<RatePoint> RateCurve(std::string_view name,
+                                   std::size_t window = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<RatePoint> out;
+    for (const Sample& s : WindowLocked(window)) {
+      if (s.dt_ns == 0) {
+        continue;
+      }
+      out.push_back(
+          RatePoint{s.ts_ns, static_cast<double>(CountIn(s.delta, name)) *
+                                 1e9 / static_cast<double>(s.dt_ns)});
+    }
+    return out;
+  }
+
+  // Merged histogram delta over the window: the distribution of the last
+  // `window` intervals only (p99 here is "p99 right now", not since boot).
+  HistogramSnapshot HistogramWindow(std::string_view name,
+                                    std::size_t window = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    HistogramSnapshot out;
+    for (const Sample& s : WindowLocked(window)) {
+      for (const HistogramSample& h : s.delta.histograms) {
+        if (h.name == name) {
+          out.Merge(h.total);
+        }
+      }
+    }
+    return out;
+  }
+
+  // Same, one socket's slice.
+  HistogramSnapshot SocketHistogramWindow(std::string_view name, int socket,
+                                          std::size_t window = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    HistogramSnapshot out;
+    const auto idx =
+        static_cast<std::size_t>(socket < 0 ? 0 : socket % kMaxSockets);
+    for (const Sample& s : WindowLocked(window)) {
+      for (const HistogramSample& h : s.delta.histograms) {
+        if (h.name == name) {
+          out.Merge(h.by_socket[idx]);
+        }
+      }
+    }
+    return out;
+  }
+
+  // The registry's cumulative state at the last tick (what the ring deltas
+  // sum to when none have been evicted; tests/sampler_test.cc asserts the
+  // algebra).
+  RegistrySnapshot LastCumulative() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return last_;
+  }
+
+  RegistrySnapshot BaselineSnapshot() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return baseline_;
+  }
+
+  // The time-series as JSON, newest-last: per tick, counter deltas plus
+  // compact histogram summaries (count/sum/percentiles, per-socket counts
+  // and p99) -- full bucket arrays stay in the /json cumulative export.
+  // Served by /series and consumed by cna_top --connect.
+  std::string SeriesJson(std::size_t window = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    const std::vector<Sample> samples = WindowLocked(window);
+    std::ostringstream os;
+    os << "{\"schema_version\":1,\"ticks\":" << ticks_
+       << ",\"interval_ns\":" << interval_ns() << ",\"samples\":[";
+    bool first_sample = true;
+    for (const Sample& s : samples) {
+      if (!first_sample) {
+        os << ',';
+      }
+      first_sample = false;
+      os << "{\"ts_ns\":" << s.ts_ns << ",\"dt_ns\":" << s.dt_ns
+         << ",\"counters\":{";
+      bool first = true;
+      for (const CounterSample& c : s.delta.counters) {
+        if (c.value == 0) {
+          continue;  // sparse: idle counters would dominate the payload
+        }
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        os << '"' << c.name << "\":" << c.value;
+      }
+      os << "},\"histograms\":{";
+      first = true;
+      for (const HistogramSample& h : s.delta.histograms) {
+        if (h.total.count == 0) {
+          continue;
+        }
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        os << '"' << h.name << "\":{\"count\":" << h.total.count
+           << ",\"sum\":" << h.total.sum << ",\"p50\":" << h.total.P50()
+           << ",\"p90\":" << h.total.P90() << ",\"p99\":" << h.total.P99()
+           << ",\"p999\":" << h.total.P999() << ",\"by_socket\":{";
+        bool first_socket = true;
+        for (int sock = 0; sock < kMaxSockets; ++sock) {
+          const HistogramSnapshot& hs =
+              h.by_socket[static_cast<std::size_t>(sock)];
+          if (hs.count == 0) {
+            continue;
+          }
+          if (!first_socket) {
+            os << ',';
+          }
+          first_socket = false;
+          os << '"' << sock << "\":{\"count\":" << hs.count
+             << ",\"p99\":" << hs.P99() << '}';
+        }
+        os << "}}";
+      }
+      os << "}}";
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  // Drops history and re-baselines at the registry's current state; the next
+  // tick's delta is relative to now.  Pair with Registry::ResetAll() when a
+  // bench resets metrics mid-run, otherwise the unsigned per-bucket
+  // subtraction in Delta() would wrap.
+  void Rebaseline() {
+    RegistrySnapshot snap = registry_->Snapshot();
+    std::lock_guard<std::mutex> g(mu_);
+    ring_.clear();
+    head_ = 0;
+    ticks_ = 0;
+    last_ts_ns_ = 0;
+    baseline_ = snap;
+    last_ = std::move(snap);
+  }
+
+  // Process-wide sampler over the global registry: what the C API, --serve,
+  // and cna_top share.
+  static Sampler& Global() {
+    static Sampler sampler;
+    return sampler;
+  }
+
+ private:
+  std::vector<Sample> WindowLocked(std::size_t n) const {
+    const std::size_t fill = ring_.size();
+    std::size_t take = (n == 0 || n > fill) ? fill : n;
+    std::vector<Sample> out;
+    out.reserve(take);
+    // Oldest retained sample sits at head_ once the ring has wrapped.
+    const std::size_t start =
+        (fill < options_.capacity ? 0 : head_) + (fill - take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(ring_[(start + i) % fill]);
+    }
+    return out;
+  }
+
+  static std::uint64_t CountIn(const RegistrySnapshot& delta,
+                               std::string_view name) {
+    for (const CounterSample& c : delta.counters) {
+      if (c.name == name && c.value != 0) {
+        return c.value;
+      }
+    }
+    for (const HistogramSample& h : delta.histograms) {
+      if (h.name == name) {
+        return h.total.count;
+      }
+    }
+    return 0;
+  }
+
+  Registry* registry_;
+  SamplerOptions options_;
+  std::atomic<std::uint64_t> interval_ns_{0};
+
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;   // grows to capacity, then wraps at head_
+  std::size_t head_ = 0;       // oldest element once wrapped
+  std::uint64_t ticks_ = 0;
+  std::uint64_t last_ts_ns_ = 0;
+  RegistrySnapshot baseline_;
+  RegistrySnapshot last_;
+
+  mutable std::mutex thread_mu_;
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cna::telemetry
+
+#endif  // CNA_TELEMETRY_SAMPLER_H_

@@ -1,0 +1,75 @@
+// A tiny dependency-free HTTP/1.0 scrape endpoint for the telemetry tier.
+//
+// One blocking accept loop on a background thread, one short-lived
+// connection per request -- the Prometheus scrape model, which is all a
+// metrics endpoint needs.  No keep-alive, no TLS, no request body: GET only.
+//
+// Routes:
+//   /            index (plain-text route list)
+//   /healthz     "ok"
+//   /metrics     Prometheus exposition of the cumulative registry
+//   /json        nested-JSON registry export
+//   /lockstat    /proc/lock_stat-style text table
+//   /series      the sampler's time-series ring as JSON (404 when the server
+//                was started without a sampler)
+//
+// Threaded into examples/kv_service.cpp via --serve <port> and exposed to C
+// as cna_telemetry_serve_*; cna_top --connect polls /series and /json.
+#ifndef CNA_TELEMETRY_SERVE_H_
+#define CNA_TELEMETRY_SERVE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "telemetry/sampler.h"
+
+namespace cna::telemetry {
+
+struct ServeOptions {
+  // 0 binds an ephemeral port; read the result back from port().
+  std::uint16_t port = 0;
+  // Optional sampler backing /series.  Not owned; must outlive the server.
+  Sampler* sampler = nullptr;
+  // Bind loopback only by default (a diagnostics endpoint, not a service).
+  bool loopback_only = true;
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer() { Stop(); }
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Binds, listens, and launches the accept thread.  Returns false (with the
+  // server stopped) if the socket could not be bound.
+  bool Start(const ServeOptions& options);
+
+  // Closes the listen socket and joins the accept thread.  Idempotent.
+  void Stop();
+
+  bool running() const { return listen_fd_.load() >= 0; }
+
+  // The bound port (useful with port = 0).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  Sampler* sampler_ = nullptr;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace cna::telemetry
+
+#endif  // CNA_TELEMETRY_SERVE_H_

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "harness/report.h"
@@ -111,6 +114,59 @@ TEST(SeriesTable, CsvFormat) {
   const std::string csv = t.ToCsv(2);
   EXPECT_NE(csv.find("figure,threads,a,b"), std::string::npos);
   EXPECT_NE(csv.find("\"fig\",2,1.50,2.50"), std::string::npos);
+}
+
+TEST(SeriesTable, JsonFormat) {
+  harness::SeriesTable t("fig \"quoted\"", "threads", {"a", "b"});
+  t.AddRow(2, {1.5, 2.5});
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"title\":\"fig \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"x_label\":\"threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":[\"a\",\"b\"]"), std::string::npos);
+  EXPECT_NE(json.find("[2,1.5,2.5]"), std::string::npos);
+}
+
+TEST(BenchJson, DocumentAccumulatesTablesAndCurves) {
+  harness::ResetBenchJson();
+  harness::SetBenchInfo("demo_bench", "threads=4 window_ns=1000");
+  harness::SeriesTable t("throughput", "threads", {"cna"});
+  t.AddRow(4, {3.25});
+  t.Emit();  // prints the text table and adds the JSON form to the document
+  harness::RecordRateCurve(
+      "locktable.wait_ns", "acquisition rate",
+      {telemetry::RatePoint{1'000'000, 2000.0},
+       telemetry::RatePoint{2'000'000, 1500.0}});
+
+  const std::string doc = harness::BenchJsonDocument();
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"demo_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"config\":\"threads=4 window_ns=1000\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"title\":\"throughput\""), std::string::npos);
+  EXPECT_NE(doc.find("\"metric\":\"locktable.wait_ns\""), std::string::npos);
+  EXPECT_NE(doc.find("[1000000,2000]"), std::string::npos);
+
+  harness::ResetBenchJson();
+  EXPECT_EQ(harness::BenchJsonDocument().find("demo_bench"),
+            std::string::npos);
+}
+
+TEST(BenchJson, FlushWritesToEnvPath) {
+  harness::ResetBenchJson();
+  harness::SetBenchInfo("flush_bench", "");
+  const std::string path = "/tmp/cna_bench_json_test.json";
+  setenv("CNA_BENCH_JSON", path.c_str(), 1);
+  EXPECT_TRUE(harness::FlushBenchJson());
+  unsetenv("CNA_BENCH_JSON");
+  EXPECT_FALSE(harness::FlushBenchJson());  // no path -> no write
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"bench\":\"flush_bench\""), std::string::npos);
+  std::remove(path.c_str());
+  harness::ResetBenchJson();
 }
 
 }  // namespace

@@ -1,0 +1,724 @@
+// cna_top: a top(1)-style terminal view of the lock telemetry time-series.
+//
+// Shows, one row per metric, the current windowed rate (events/s), the
+// latest-tick p50/p99 (for latency histograms), and a sparkline of the rate
+// trajectory across the sampler window -- rate-sorted, so the hottest
+// stripes/locks float to the top exactly like processes in top(1).  A status
+// line reports any saturation conditions (src/telemetry/saturation.h) active
+// on the primary wait metric.
+//
+// Two attachment modes:
+//   cna_top --demo [--threads N] [--seconds S]
+//       In-process: spins a sharded-KV workload on real threads whose key
+//       skew oscillates between uniform and hot-stripe every few seconds,
+//       samples the live registry directly, and renders.  The zero-setup way
+//       to see the continuous-telemetry tier move.
+//   cna_top --connect host:port
+//       Remote: polls /series (and /healthz) on a telemetry endpoint started
+//       with cna_telemetry_serve_* or `example_kv_service --serve <port>`,
+//       parses the JSON, and renders the same display.
+//
+// Common flags: --interval <ms> (frame period, default 1000), --frames <n>
+// (stop after n frames; 0 = until ^C or --seconds), --plain (no ANSI clear,
+// frames append -- the CI-loggable mode), --rows <n> (metric rows shown).
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "apps/sharded_kv.h"
+#include "base/rng.h"
+#include "locks/cna.h"
+#include "platform/real_platform.h"
+#include "platform/thread_context.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/saturation.h"
+
+namespace {
+
+using namespace cna;
+
+// ---------------------------------------------------------------------------
+// Display model: per tick, compact per-metric numbers -- built either from a
+// live Sampler window or from parsed /series JSON.
+// ---------------------------------------------------------------------------
+
+struct TickHist {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct TickView {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dt_ns = 0;
+  std::map<std::string, std::uint64_t> counters;  // nonzero deltas
+  std::map<std::string, TickHist> hists;          // nonzero-count deltas
+};
+
+std::vector<TickView> FromSampler(const telemetry::Sampler& sampler) {
+  std::vector<TickView> out;
+  for (const telemetry::Sample& s : sampler.Window()) {
+    TickView t;
+    t.ts_ns = s.ts_ns;
+    t.dt_ns = s.dt_ns;
+    for (const telemetry::CounterSample& c : s.delta.counters) {
+      if (c.value != 0) {
+        t.counters[c.name] = c.value;
+      }
+    }
+    for (const telemetry::HistogramSample& h : s.delta.histograms) {
+      if (h.total.count != 0) {
+        t.hists[h.name] =
+            TickHist{h.total.count, h.total.P50(), h.total.P99()};
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON for --connect: just enough recursive descent to load the
+// /series payload this repo itself emits (objects, arrays, numbers, strings,
+// true/false/null).  No dependency, ~100 lines.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    auto v = ParseValue();
+    SkipWs();
+    if (!v.has_value() || pos_ != s_.size()) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return std::nullopt;
+    }
+    const char c = s_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      if (!ParseString(&v.str)) {
+        return std::nullopt;
+      }
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return v;
+    }
+    for (;;) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key) || !Consume(':')) {
+        return std::nullopt;
+      }
+      auto child = ParseValue();
+      if (!child.has_value()) {
+        return std::nullopt;
+      }
+      v.object.emplace_back(std::move(key), std::move(*child));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return v;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return v;
+    }
+    for (;;) {
+      auto child = ParseValue();
+      if (!child.has_value()) {
+        return std::nullopt;
+      }
+      v.array.push_back(std::move(*child));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return v;
+      }
+      return std::nullopt;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'u':
+            // The exporters only emit \u00XX for control bytes; skip them.
+            pos_ = std::min(pos_ + 4, s_.size());
+            break;
+          default: *out += e;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::strchr("+-.eE", s_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<TickView> FromSeriesJson(const JsonValue& doc) {
+  std::vector<TickView> out;
+  const JsonValue* samples = doc.Find("samples");
+  if (samples == nullptr) {
+    return out;
+  }
+  for (const JsonValue& s : samples->array) {
+    TickView t;
+    if (const JsonValue* ts = s.Find("ts_ns")) {
+      t.ts_ns = static_cast<std::uint64_t>(ts->NumberOr(0));
+    }
+    if (const JsonValue* dt = s.Find("dt_ns")) {
+      t.dt_ns = static_cast<std::uint64_t>(dt->NumberOr(0));
+    }
+    if (const JsonValue* counters = s.Find("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        t.counters[name] = static_cast<std::uint64_t>(v.NumberOr(0));
+      }
+    }
+    if (const JsonValue* hists = s.Find("histograms")) {
+      for (const auto& [name, h] : hists->object) {
+        TickHist th;
+        if (const JsonValue* c = h.Find("count")) {
+          th.count = static_cast<std::uint64_t>(c->NumberOr(0));
+        }
+        if (const JsonValue* p = h.Find("p50")) {
+          th.p50 = static_cast<std::uint64_t>(p->NumberOr(0));
+        }
+        if (const JsonValue* p = h.Find("p99")) {
+          th.p99 = static_cast<std::uint64_t>(p->NumberOr(0));
+        }
+        t.hists[name] = th;
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP client for --connect: one blocking GET per poll.
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> HttpGet(const std::string& host,
+                                   const std::string& port,
+                                   const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0) {
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos || resp.rfind("HTTP/", 0) != 0) {
+    return std::nullopt;
+  }
+  if (resp.find(" 200 ") == std::string::npos ||
+      resp.find(" 200 ") > resp.find("\r\n")) {
+    return std::nullopt;
+  }
+  return resp.substr(split + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+std::string Sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  std::string out;
+  if (values.empty()) {
+    return out;
+  }
+  double maxv = 0.0;
+  for (double v : values) {
+    maxv = std::max(maxv, v);
+  }
+  const std::size_t start =
+      values.size() > width ? values.size() - width : 0;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    const int level =
+        maxv <= 0.0
+            ? 0
+            : static_cast<int>(std::lround(values[i] / maxv * 8.0));
+    out += kLevels[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+std::string HumanRate(double per_sec) {
+  char buf[32];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%8.2fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%8.2fk", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%8.1f ", per_sec);
+  }
+  return buf;
+}
+
+std::string HumanNs(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%7.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%6.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%6.2fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%5lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+struct RenderOptions {
+  int rows = 16;
+  bool plain = false;
+  std::string source;
+  std::string status;  // saturation line, "" = none
+};
+
+void Render(const std::vector<TickView>& ticks, const RenderOptions& opts) {
+  if (!opts.plain) {
+    std::fputs("\x1b[H\x1b[2J", stdout);  // clear + home
+  }
+  // Window totals + per-tick rate history, per metric.
+  struct Row {
+    std::string name;
+    bool is_hist = false;
+    double rate = 0.0;
+    std::uint64_t p50 = 0, p99 = 0;
+    std::vector<double> history;
+  };
+  std::map<std::string, Row> rows;
+  std::uint64_t window_ns = 0;
+  for (const TickView& t : ticks) {
+    window_ns += t.dt_ns;
+  }
+  for (const TickView& t : ticks) {
+    const double dt_s =
+        t.dt_ns == 0 ? 0.0 : static_cast<double>(t.dt_ns) / 1e9;
+    for (const auto& [name, th] : t.hists) {
+      Row& r = rows[name];
+      r.name = name;
+      r.is_hist = true;
+      r.history.push_back(dt_s == 0.0 ? 0.0
+                                      : static_cast<double>(th.count) / dt_s);
+      r.p50 = th.p50;
+      r.p99 = th.p99;
+    }
+    for (const auto& [name, v] : t.counters) {
+      Row& r = rows[name];
+      r.name = name;
+      r.history.push_back(dt_s == 0.0 ? 0.0
+                                      : static_cast<double>(v) / dt_s);
+    }
+  }
+  std::vector<Row*> sorted;
+  for (auto& [name, r] : rows) {
+    double sum = 0.0;
+    for (double v : r.history) {
+      sum += v;
+    }
+    r.rate = r.history.empty() ? 0.0
+                               : sum / static_cast<double>(r.history.size());
+    sorted.push_back(&r);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row* a, const Row* b) { return a->rate > b->rate; });
+
+  std::printf("cna_top -- %s | ticks %zu | window %.1fs\n",
+              opts.source.c_str(), ticks.size(),
+              static_cast<double>(window_ns) / 1e9);
+  if (!opts.status.empty()) {
+    std::printf("%s\n", opts.status.c_str());
+  }
+  std::printf("%-34s %9s %9s %9s  %s\n", "metric", "rate/s", "p50", "p99",
+              "trend (rate)");
+  int printed = 0;
+  for (const Row* r : sorted) {
+    if (printed++ >= opts.rows) {
+      break;
+    }
+    std::printf("%-34s %9s %9s %9s  %s\n", r->name.c_str(),
+                HumanRate(r->rate).c_str(),
+                r->is_hist ? HumanNs(r->p50).c_str() : "-",
+                r->is_hist ? HumanNs(r->p99).c_str() : "-",
+                Sparkline(r->history, 32).c_str());
+  }
+  if (sorted.empty()) {
+    std::printf("(no activity in window -- is telemetry enabled?)\n");
+  }
+  std::fflush(stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Demo workload: real threads on a telemetry-instrumented sharded KV whose
+// skew oscillates, so the display visibly moves.
+// ---------------------------------------------------------------------------
+
+struct DemoWorkload {
+  using TelemetryCna = locks::CnaLock<RealPlatform, locks::CnaTelemetryConfig>;
+  using Kv = apps::ShardedKv<RealPlatform, TelemetryCna>;
+
+  explicit DemoWorkload(int threads) {
+    apps::ShardedKvOptions o;
+    o.key_range = 1 << 14;
+    o.lock_stripes = 64;
+    o.cs_compute_ns = 0;
+    o.collect_latency = true;
+    kv = std::make_unique<Kv>(o);
+    const std::uint64_t t0 = telemetry::NowNs();
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([this, t, t0] {
+        platform::ThreadContext::Current().SetVirtualSocket(t % 2);
+        XorShift64 rng =
+            XorShift64::FromSeed(0x70b + static_cast<std::uint64_t>(t));
+        while (!stop.load(std::memory_order_acquire)) {
+          // 6-second cycle: 3 s uniform, 3 s convoy on one hot stripe.
+          const std::uint64_t phase_s =
+              ((telemetry::NowNs() - t0) / 1'000'000'000) % 6;
+          const bool hot_phase = phase_s >= 3;
+          const bool hot =
+              hot_phase && static_cast<int>(rng.NextBelow(100)) < 90;
+          kv->Add(hot ? 0 : rng.NextBelow(1 << 14), 1);
+        }
+      });
+    }
+  }
+
+  ~DemoWorkload() {
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+
+  std::unique_ptr<Kv> kv;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--demo [--threads N] | --connect host:port]\n"
+      "          [--interval ms] [--frames N] [--seconds S] [--rows N] "
+      "[--plain]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  std::string connect;
+  int interval_ms = 1000;
+  int frames = 0;
+  int seconds = 0;
+  int threads = 4;
+  RenderOptions render;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      connect = v;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      interval_ms = v != nullptr ? std::atoi(v) : 0;
+      if (interval_ms <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--frames") {
+      const char* v = next();
+      frames = v != nullptr ? std::atoi(v) : -1;
+      if (frames < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--seconds") {
+      const char* v = next();
+      seconds = v != nullptr ? std::atoi(v) : -1;
+      if (seconds < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      threads = v != nullptr ? std::atoi(v) : 0;
+      if (threads <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--rows") {
+      const char* v = next();
+      render.rows = v != nullptr ? std::atoi(v) : 0;
+      if (render.rows <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--plain") {
+      render.plain = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (demo == !connect.empty()) {
+    // Exactly one of --demo / --connect.
+    return Usage(argv[0]);
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  int frame = 0;
+  auto more_frames = [&] {
+    if (frames > 0 && frame >= frames) {
+      return false;
+    }
+    if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    // Bound the default so a script without a tty can't hang forever.
+    return frames > 0 || seconds > 0 || frame < 1000000;
+  };
+
+  if (demo) {
+    telemetry::SetEnabled(true);
+    telemetry::Sampler sampler(&telemetry::Registry::Global(),
+                               {.capacity = 64,
+                                .interval_ns = static_cast<std::uint64_t>(
+                                                   interval_ms) *
+                                               1'000'000 / 2});
+    telemetry::SaturationDetector detector(
+        sampler, {.throughput_metric = "locktable.wait_ns",
+                  .wait_histogram = "locktable.wait_ns"});
+    DemoWorkload workload(threads);
+    sampler.Start();
+    render.source = "demo (" + std::to_string(threads) + " threads, in-process)";
+    while (more_frames()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      const auto active = detector.Evaluate();
+      render.status.clear();
+      for (telemetry::Condition c : active) {
+        render.status += std::string(render.status.empty() ? "SATURATION: "
+                                                           : ", ") +
+                         telemetry::ConditionName(c);
+      }
+      Render(FromSampler(sampler), render);
+      ++frame;
+    }
+    sampler.Stop();
+    telemetry::SetEnabled(false);
+    return 0;
+  }
+
+  // --connect host:port
+  const std::size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    return Usage(argv[0]);
+  }
+  const std::string host = connect.substr(0, colon);
+  const std::string port = connect.substr(colon + 1);
+  render.source = "http://" + connect + "/series";
+  int failures = 0;
+  while (more_frames()) {
+    const auto body = HttpGet(host, port, "/series");
+    if (!body.has_value()) {
+      if (++failures >= 5) {
+        std::fprintf(stderr, "cna_top: cannot reach %s\n", connect.c_str());
+        return 1;
+      }
+    } else {
+      failures = 0;
+      JsonParser parser(*body);
+      const auto doc = parser.Parse();
+      if (doc.has_value()) {
+        Render(FromSeriesJson(*doc), render);
+      } else {
+        std::fprintf(stderr, "cna_top: /series response did not parse\n");
+      }
+      ++frame;
+    }
+    if (more_frames()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
