@@ -1,0 +1,288 @@
+// Saturation sweep: throughput-vs-threads curves through and far past the
+// saturation point, with and without GCR concurrency restriction
+// (locks/gcr.h) -- the scalability-collapse experiment from Dice & Kogan's
+// companion work on restricting concurrency, applied to this repo's locks.
+//
+// Two halves:
+//
+//   * Simulated: a wide 2-socket machine (256 CPUs) sweeps fiber counts into
+//     the hundreds.  The baseline global-spin lock (TAS) collapses as every
+//     added spinner multiplies coherence traffic on the lock word; CNA
+//     degrades more gently (local spin, socket-local handoff); the
+//     GCR-wrapped variants passivate the surplus so the contention the
+//     underlying lock sees stays bounded regardless of offered concurrency.
+//   * Real threads: the ladder runs to 16x hardware concurrency.  Past 1x,
+//     lock-holder preemption and handoffs to descheduled waiters eat the
+//     baseline; GCR parks the surplus OFF the run queue (PassiveWait), so
+//     the active few keep the lock hot and the tail stays flat.  The
+//     "GCR-auto" series exercises the full telemetry loop: nothing is
+//     engaged up front -- a background poller ticks a Sampler, a
+//     SaturationDetector watches the bench's own wait-time histogram, and a
+//     GcrAdmissionController engages restriction from the Subscribe()
+//     event when (and only when) collapse is detected.
+//
+// After the sweeps a peak-vs-tail summary prints each series' throughput
+// retention at the deepest oversubscription point.
+//
+// Environment: CNA_BENCH_WINDOW_MS, CNA_BENCH_MAX_THREADS as elsewhere.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "locks/cna.h"
+#include "locks/gcr.h"
+#include "locks/tas.h"
+#include "locktable/gcr_table.h"
+#include "platform/real_platform.h"
+#include "sim/machine.h"
+#include "sim/sim_platform.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/saturation.h"
+
+namespace {
+
+using namespace cna;
+
+// Critical-section / think-time mix.  The CS touches shared data (charged as
+// coherence traffic in the simulator) so longer queues really do cool the
+// critical path; the think time gives passivated threads something to be
+// excluded *from*.
+constexpr std::uint64_t kCsWorkNs = 200;
+constexpr std::uint64_t kThinkNs = 400;
+constexpr std::uint32_t kActiveLimit = 8;
+
+template <typename P>
+void CriticalSection() {
+  for (std::uint64_t line = 0; line < 4; ++line) {
+    P::OnDataAccess(/*object_id=*/line, /*write=*/true);
+  }
+  P::ExternalWork(kCsWorkNs);
+}
+
+// One sweep point on the simulated wide machine.  Prepare(lock) runs before
+// the fibers start (engages restriction for the GCR series).
+template <typename LockT, typename Prepare>
+double SimPoint(int fibers, std::uint64_t window_ns, Prepare&& prepare) {
+  auto lock = std::make_shared<LockT>();
+  prepare(*lock);
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(/*sockets=*/2,
+                                         /*cpus_per_socket=*/128);
+  const auto r = harness::RunOnSim(
+      cfg, fibers, window_ns, [lock](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0x5a70 + static_cast<std::uint64_t>(t));
+        return [lock, rng]() mutable {
+          typename LockT::Handle h;
+          lock->Lock(h);
+          CriticalSection<SimPlatform>();
+          lock->Unlock(h);
+          SimPlatform::ExternalWork(kThinkNs + rng.NextBelow(kThinkNs));
+        };
+      });
+  return r.throughput_mops;
+}
+
+void SimSweep(const std::vector<int>& fibers, std::uint64_t window_ns) {
+  using SimTas = locks::TasLock<SimPlatform>;
+  using SimCna = locks::CnaLock<SimPlatform>;
+  auto plain = [](auto&) {};
+  auto engaged = [](auto& lock) {
+    lock.SetActiveLimit(kActiveLimit);
+    lock.Engage();
+  };
+  harness::SeriesTable table(
+      "Saturation sweep (simulated 2x128-CPU machine): throughput (ops/us) "
+      "vs fibers",
+      "fibers", {"TAS", "GCR(TAS)", "CNA", "GCR(CNA)"});
+  for (int f : fibers) {
+    table.AddRow(
+        f, {SimPoint<SimTas>(f, window_ns, plain),
+            SimPoint<locks::GcrLock<SimPlatform, SimTas>>(f, window_ns,
+                                                          engaged),
+            SimPoint<SimCna>(f, window_ns, plain),
+            SimPoint<locks::GcrLock<SimPlatform, SimCna>>(f, window_ns,
+                                                          engaged)});
+  }
+  table.Emit();
+}
+
+// --- Real OS threads ---
+
+using RealCna = locks::CnaLock<RealPlatform>;
+using RealGcr = locks::GcrLock<RealPlatform, RealCna>;
+
+// Real-thread active limit: restriction only means something when the active
+// set is no wider than the hardware -- an 8-thread active set on a 2-CPU box
+// is indistinguishable from no restriction at all.
+std::uint32_t RealActiveLimit() {
+  return std::min<std::uint32_t>(
+      kActiveLimit, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+template <typename LockT, typename Prepare>
+double RealPoint(int threads, std::chrono::nanoseconds window,
+                 Prepare&& prepare) {
+  auto lock = std::make_shared<LockT>();
+  prepare(*lock);
+  return harness::RunOnThreads(
+             threads, window, /*virtual_sockets=*/2,
+             [lock](int t) {
+               XorShift64 rng =
+                   XorShift64::FromSeed(0x0ea1 + static_cast<std::uint64_t>(t));
+               return [lock, rng]() mutable {
+                 typename LockT::Handle h;
+                 lock->Lock(h);
+                 CriticalSection<RealPlatform>();
+                 lock->Unlock(h);
+                 RealPlatform::ExternalWork(kThinkNs + rng.NextBelow(kThinkNs));
+               };
+             })
+      .throughput_mops;
+}
+
+// The detector-driven point: a 1-stripe GcrLockTable publishing its wait
+// histogram, a Sampler/SaturationDetector/GcrAdmissionController loop
+// polled from a side thread on wall-clock time.  Restriction engages only
+// if the telemetry pipeline raises kSaturated during the run.
+double RealAutoPoint(int threads, std::chrono::nanoseconds window,
+                     std::uint64_t* events_out) {
+  telemetry::SetEnabled(true);
+  locktable::GcrLockTable<RealPlatform, RealCna> table(
+      {.stripes = 1,
+       .collect_stats = true,
+       .collect_latency = true,
+       .metrics_name = "gcr_auto"});
+  telemetry::Sampler sampler(&telemetry::Registry::Global(),
+                             telemetry::SamplerOptions{.capacity = 64});
+  telemetry::SaturationOptions sopts;
+  sopts.throughput_metric = "gcr_auto.wait_ns";
+  sopts.wait_histogram = "gcr_auto.wait_ns";
+  telemetry::SaturationDetector detector(sampler, sopts);
+  // quiet_polls is long relative to the run: once the detector has tripped,
+  // hold restriction -- disengaging the moment throughput recovers just
+  // re-enters collapse and oscillates for the rest of the window.
+  locktable::GcrAdmissionController controller(
+      table, detector,
+      {.hot_stripe_share = 0.0,
+       .active_limit = RealActiveLimit(),
+       .quiet_polls = 64});
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    const auto tick_every =
+        std::max<std::chrono::nanoseconds>(window / 64,
+                                           std::chrono::microseconds(500));
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(tick_every);
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      sampler.Tick(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now).count()));
+      detector.Evaluate();
+      controller.Poll();
+    }
+  });
+  const auto r = harness::RunOnThreads(
+      threads, window, /*virtual_sockets=*/2, [&table](int t) {
+        XorShift64 rng =
+            XorShift64::FromSeed(0xa070 + static_cast<std::uint64_t>(t));
+        return [&table, rng]() mutable {
+          table.Lock(0);
+          CriticalSection<RealPlatform>();
+          table.Unlock(0);
+          RealPlatform::ExternalWork(kThinkNs + rng.NextBelow(kThinkNs));
+        };
+      });
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  controller.Disengage();
+  telemetry::SetEnabled(false);
+  if (events_out != nullptr) {
+    *events_out += controller.saturation_events();
+  }
+  return r.throughput_mops;
+}
+
+void PrintRetention(const char* name, const std::vector<double>& curve) {
+  const double peak = *std::max_element(curve.begin(), curve.end());
+  const double tail = curve.back();
+  std::printf("  %-12s peak %.3f ops/us, tail %.3f ops/us -> retention "
+              "%.0f%%\n",
+              name, peak, tail, peak > 0 ? 100.0 * tail / peak : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t sim_window = harness::BenchWindowNs(2'000'000);
+  const auto real_window =
+      std::chrono::nanoseconds(harness::BenchWindowNs(50'000'000));
+
+  // Simulated ladder: up to the wide machine's full 256 CPUs.
+  const std::vector<int> sim_fibers =
+      harness::ClipThreads({4, 16, 64, 128, 256});
+
+  // Real ladder: 1..16x hardware concurrency (small absolute rungs kept so a
+  // clipped smoke run still has points), capped at 1024 threads.
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> real_threads = {1, 2, 4};
+  for (int mult = 1; mult <= 16; mult *= 2) {
+    const int t = std::min(hw * mult, 1024);
+    if (t > real_threads.back()) {
+      real_threads.push_back(t);
+    }
+  }
+  real_threads = harness::ClipThreads(real_threads);
+
+  harness::SetBenchInfo(
+      "saturation_sweep",
+      "machine=2x128-sim+real hw_threads=" + std::to_string(hw) +
+          " max_threads=" + std::to_string(real_threads.back()) +
+          " active_limit=" + std::to_string(kActiveLimit) +
+          " window_ns=" + std::to_string(sim_window));
+
+  SimSweep(sim_fibers, sim_window);
+
+  auto plain = [](auto&) {};
+  auto engaged = [](auto& lock) {
+    lock.SetActiveBounds(1, RealActiveLimit());
+    lock.SetActiveLimit(RealActiveLimit());
+    lock.Engage();
+  };
+  std::uint64_t auto_events = 0;
+  std::vector<double> base_curve, gcr_curve, auto_curve;
+  harness::SeriesTable real_table(
+      "Saturation sweep (real threads, 2 virtual sockets): throughput "
+      "(ops/us) vs threads, hw=" + std::to_string(hw),
+      "threads", {"CNA", "GCR-engaged", "GCR-auto"});
+  for (int threads : real_threads) {
+    base_curve.push_back(RealPoint<RealCna>(threads, real_window, plain));
+    gcr_curve.push_back(RealPoint<RealGcr>(threads, real_window, engaged));
+    auto_curve.push_back(RealAutoPoint(threads, real_window, &auto_events));
+    real_table.AddRow(threads, {base_curve.back(), gcr_curve.back(),
+                                auto_curve.back()});
+  }
+  real_table.Emit();
+
+  std::printf(
+      "\nPeak-vs-tail retention at %d threads (%dx hardware concurrency):\n",
+      real_threads.back(), real_threads.back() / hw);
+  PrintRetention("CNA", base_curve);
+  PrintRetention("GCR-engaged", gcr_curve);
+  PrintRetention("GCR-auto", auto_curve);
+  std::printf(
+      "  GCR-auto saturation events over the sweep: %llu (restriction "
+      "engaged by SaturationDetector::Subscribe, not by thread count)\n",
+      static_cast<unsigned long long>(auto_events));
+  return 0;
+}

@@ -26,6 +26,12 @@ struct cna_mutex {
   cna::core::Mutex impl;
 };
 
+struct cna_gcr {
+  explicit cna_gcr(cna::core::LockKind kind)
+      : impl(cna::core::MakeGcrLock<cna::RealPlatform>(kind)) {}
+  std::unique_ptr<cna::core::AnyGcrLock> impl;
+};
+
 struct cna_locktable {
   cna_locktable(cna::core::LockKind kind, size_t stripes)
       : impl(cna::core::MakeLockTable<cna::RealPlatform>(
@@ -143,6 +149,105 @@ int cna_mutex_unlock(cna_mutex_t* mutex) {
 
 size_t cna_mutex_state_bytes(const cna_mutex_t* mutex) {
   return mutex == nullptr ? 0 : mutex->impl.state_bytes();
+}
+
+cna_gcr_t* cna_gcr_create(const char* lock_name) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  try {
+    return new (std::nothrow) cna_gcr(*kind);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_gcr_t* cna_gcr_create_default(void) {
+  try {
+    return new (std::nothrow) cna_gcr(cna::core::LockKind::kCna);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_gcr_destroy(cna_gcr_t* gcr) { delete gcr; }
+
+int cna_gcr_lock(cna_gcr_t* gcr) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    gcr->impl->Lock();
+    return 0;
+  });
+}
+
+int cna_gcr_trylock(cna_gcr_t* gcr) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] { return gcr->impl->TryLock() ? 0 : EBUSY; });
+}
+
+int cna_gcr_unlock(cna_gcr_t* gcr) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  return GuardedCall([&] {
+    gcr->impl->Unlock();
+    return 0;
+  });
+}
+
+int cna_gcr_engage(cna_gcr_t* gcr) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  gcr->impl->Engage();
+  return 0;
+}
+
+int cna_gcr_disengage(cna_gcr_t* gcr) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  gcr->impl->Disengage();
+  return 0;
+}
+
+int cna_gcr_set_active_limit(cna_gcr_t* gcr, uint32_t limit) {
+  if (gcr == nullptr) {
+    return EINVAL;
+  }
+  gcr->impl->SetActiveLimit(limit);
+  return 0;
+}
+
+int cna_gcr_restricted(const cna_gcr_t* gcr) {
+  return gcr != nullptr && gcr->impl->Restricted() ? 1 : 0;
+}
+
+int cna_gcr_get_stats(const cna_gcr_t* gcr, cna_gcr_stats_t* out) {
+  if (gcr == nullptr || out == nullptr) {
+    return EINVAL;
+  }
+  const cna::locks::GcrCountersSnapshot s = gcr->impl->GcrStats();
+  out->direct = s.direct;
+  out->passivations = s.passivations;
+  out->admissions = s.admissions + s.self_admissions;
+  out->rotations = s.rotations;
+  out->engages = s.engages;
+  out->disengages = s.disengages;
+  out->max_admission_wait_releases = s.max_admission_wait_releases;
+  return 0;
+}
+
+size_t cna_gcr_state_bytes(const cna_gcr_t* gcr) {
+  return gcr == nullptr ? 0 : gcr->impl->StateBytes();
 }
 
 cna_locktable_t* cna_locktable_create(const char* lock_name, size_t stripes) {

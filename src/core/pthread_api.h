@@ -35,6 +35,55 @@ int cna_mutex_unlock(cna_mutex_t* mutex);
 size_t cna_mutex_state_bytes(const cna_mutex_t* mutex);
 
 // ---------------------------------------------------------------------------
+// Concurrency restriction (src/locks/gcr.h): a mutex that survives
+// saturation.  Any named lock kind, wrapped in a GCR layer that -- once
+// engaged -- keeps a bounded active set contending and passivates surplus
+// waiters onto per-socket lists, rotating them in periodically for fairness.
+// Created disengaged; engage it from a saturation signal (see
+// cna_telemetry_*), or manually.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_gcr cna_gcr_t;
+
+typedef struct cna_gcr_stats {
+  uint64_t direct;        /* acquisitions that never passivated */
+  uint64_t passivations;  /* acquisitions parked on a passive list */
+  uint64_t admissions;    /* passive waiters promoted by an unlocker */
+  uint64_t rotations;     /* forced round-robin (fairness) admissions */
+  uint64_t engages;
+  uint64_t disengages;
+  /* worst passivation->admission wait, in releases of the underlying lock */
+  uint64_t max_admission_wait_releases;
+} cna_gcr_stats_t;
+
+// Creates a GCR-wrapped mutex backed by the named lock.  Returns nullptr if
+// the name is unknown.
+cna_gcr_t* cna_gcr_create(const char* lock_name);
+// Creates a GCR-wrapped mutex backed by the default lock (CNA).
+cna_gcr_t* cna_gcr_create_default(void);
+void cna_gcr_destroy(cna_gcr_t* gcr);
+
+// Returns 0 on success (pthread convention).
+int cna_gcr_lock(cna_gcr_t* gcr);
+// Returns 0 on success, EBUSY when the lock is held, the active set is full,
+// or try-lock is unsupported by the underlying kind.
+int cna_gcr_trylock(cna_gcr_t* gcr);
+// Returns 0 on success, EPERM on unlock without a matching lock.
+int cna_gcr_unlock(cna_gcr_t* gcr);
+
+// Restriction controls; safe to call while other threads lock/unlock.
+// Each returns 0 on success, EINVAL on a null handle.
+int cna_gcr_engage(cna_gcr_t* gcr);
+int cna_gcr_disengage(cna_gcr_t* gcr);
+int cna_gcr_set_active_limit(cna_gcr_t* gcr, uint32_t limit);
+// 1 while engaged, else 0.
+int cna_gcr_restricted(const cna_gcr_t* gcr);
+
+// Fills *out; returns 0, or EINVAL on null arguments.
+int cna_gcr_get_stats(const cna_gcr_t* gcr, cna_gcr_stats_t* out);
+size_t cna_gcr_state_bytes(const cna_gcr_t* gcr);
+
+// ---------------------------------------------------------------------------
 // Sharded lock table (src/locktable/): a futex-style dynamic lock namespace.
 // Arbitrary 64-bit keys hash onto `stripes` one-word locks (rounded up to a
 // power of two); keys on the same stripe serialize, keys on different stripes

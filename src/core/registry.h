@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/any_combining_table.h"
+#include "core/any_gcr_lock.h"
 #include "core/any_lock.h"
 #include "core/any_lock_table.h"
 #include "core/any_resizable_table.h"
@@ -210,6 +211,35 @@ std::unique_ptr<AnyCombiningTable> MakeCombiningTable(
           std::type_identity<C>) -> std::unique_ptr<AnyCombiningTable> {
         return std::make_unique<
             CombiningTableAdapter<P, typename C::LockType>>(name, options);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency restriction: GCR-wrapped counterparts of MakeLock.
+// ---------------------------------------------------------------------------
+
+// Invokes `f` with std::type_identity<locks::GcrLock<P, L>>{} where L
+// implements `kind`.  Single point of truth for the kind -> GCR-wrapped
+// mapping, built on WithLockType the way WithCombining is: every lock kind is
+// automatically wrappable in concurrency restriction.
+template <typename P, typename F>
+decltype(auto) WithGcr(LockKind kind, F&& f) {
+  return WithLockType<P>(
+      kind, [&f]<typename L>(std::type_identity<L>) -> decltype(auto) {
+        return f(std::type_identity<locks::GcrLock<P, L>>{});
+      });
+}
+
+// Builds a type-erased GCR-wrapped lock of `kind` over platform P.  Starts
+// disengaged: until Engage() it is the underlying lock plus bookkeeping.
+template <typename P>
+std::unique_ptr<AnyGcrLock> MakeGcrLock(LockKind kind) {
+  return WithGcr<P>(
+      kind,
+      [name = std::string("gcr-") + std::string(LockKindName(kind))]<typename G>(
+          std::type_identity<G>) -> std::unique_ptr<AnyGcrLock> {
+        return std::make_unique<GcrLockAdapter<P, typename G::Underlying>>(
+            name);
       });
 }
 

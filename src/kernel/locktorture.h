@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "locks/gcr.h"
 #include "locks/lock_api.h"
 #include "locktable/combining.h"
 #include "qspin/qspinlock.h"
@@ -134,6 +135,49 @@ class CombiningLockTorture {
   LockTortureOptions options_;
   locktable::CombiningTable<P, L> table_;
   std::atomic<std::uint64_t> ops_applied_{0};
+};
+
+// Saturation-mode torture: the same writer mix against a GCR-wrapped lock
+// (locks/gcr.h), modeling the regime locktorture's "massive contention"
+// delays are meant to force.  Every writer iteration goes through the
+// restriction layer, so an engaged torture exercises passivation, per-socket
+// admission, forced rotation, and the engage/disengage flips themselves when
+// the caller toggles mid-run -- the paths a saturated production lock leans
+// on.  Accounting invariant for tests: every acquisition is exactly one of
+// direct or passivated-then-admitted (GcrCountersSnapshot::total()).
+template <typename P, locks::Lockable L>
+class GcrLockTorture {
+ public:
+  explicit GcrLockTorture(LockTortureOptions options,
+                          std::uint32_t active_limit = 2)
+      : options_(options) {
+    lock_.SetActiveLimit(active_limit);
+  }
+
+  GcrLockTorture(const GcrLockTorture&) = delete;
+  GcrLockTorture& operator=(const GcrLockTorture&) = delete;
+
+  // One lock_torture_writer iteration through the restriction layer.
+  void WriterOp(std::uint64_t iteration) {
+    typename locks::GcrLock<P, L>::Handle h;
+    lock_.Lock(h);
+    detail::TortureCsBody<P>(options_, iteration);
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    lock_.Unlock(h);
+  }
+
+  void Engage() { lock_.Engage(); }
+  void Disengage() { lock_.Disengage(); }
+
+  // Plain std::atomic, diagnostics convention (see CombiningLockTorture).
+  std::uint64_t Ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  locks::GcrLock<P, L>& lock() { return lock_; }
+
+ private:
+  LockTortureOptions options_;
+  locks::GcrLock<P, L> lock_;
+  std::atomic<std::uint64_t> ops_{0};
 };
 
 }  // namespace cna::kernel

@@ -1,0 +1,512 @@
+// GCR: generic concurrency restriction (Dice & Kogan, "Avoiding Scalability
+// Collapse by Restricting Concurrency" -- same authors as CNA).
+//
+// Past the saturation point, adding waiters to a lock makes aggregate
+// throughput *worse*: every spinning waiter steals cycles and cache capacity
+// from the lock holder, and longer queues mean colder critical-section data
+// on each handover.  GCR's answer is to stop letting every arrival compete.
+// GcrLock<P, L> wraps any Lockable L and splits threads into
+//
+//   * an ACTIVE set (at most `active_limit` threads) that contends on the
+//     underlying lock exactly as before, and
+//   * a PASSIVE set: surplus arrivals are parked on per-socket FIFO lists
+//     and spin only on their own handle's `admitted` flag -- one cache line,
+//     no shared traffic -- until an unlocker promotes them.
+//
+// Admission prefers the releasing thread's own socket, so the passive layer
+// preserves CNA's socket-local handoff instead of fighting it.  Long-term
+// fairness comes from *rotation*: every kRotatePeriod-th release with a
+// non-empty passive list force-admits the next waiter round-robin across
+// sockets even when the active set is full, so no socket (and no thread --
+// the per-socket lists are FIFO) is passivated forever.  The active-set size
+// adapts: while passivated threads are waiting the limit decays toward
+// kMinActive (the GCR premise: fewer active threads = faster holder), and
+// once the passive list drains it relaxes back up.
+//
+// Restriction is DISENGAGED by default -- an unengaged GcrLock is the
+// underlying lock plus two uncontended-ish atomic adds per acquisition.  It
+// is meant to be flipped on by telemetry (see locktable/gcr_table.h, which
+// subscribes to SaturationDetector events), not left on unconditionally.
+//
+// Concurrency notes:
+//   * Algorithm-relevant shared state uses P::Atomic so the simulator
+//     explores interleavings; counters that only feed diagnostics are plain
+//     std::atomic (invisible to the simulator's scheduler, free of charge).
+//   * The passive lists are mutated only under a tiny TAS guard (qlock_);
+//     the `admitted` flag is the only field that crosses the guard boundary
+//     and carries release/acquire ordering.
+//   * Liveness does not depend on unlockers noticing waiters: a passive
+//     thread periodically re-checks the active set itself and self-admits
+//     (unlinking its own node under the guard) when there is room or the
+//     lock got disengaged.  This closes the race where the last active
+//     thread released before a passivating thread became visible.
+#ifndef CNA_LOCKS_GCR_H_
+#define CNA_LOCKS_GCR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/cacheline.h"
+#include "locks/lock_api.h"
+
+namespace cna::locks {
+
+// Compile-time knobs.  Periods are powers of two so the hot-path modulo is a
+// mask.
+struct GcrDefaultConfig {
+  // Every kRotatePeriod-th release with passive waiters force-admits one of
+  // them round-robin across sockets, even when the active set is full.
+  // Smaller = tighter fairness bound, more churn in the active set.
+  static constexpr std::uint64_t kRotatePeriod = 64;
+  // Releases between active-limit adaptation steps.
+  static constexpr std::uint64_t kAdaptPeriod = 256;
+  // While engaged with an empty passive list, each release grows the limit
+  // back with probability 1/(kGrowMask+1).
+  static constexpr std::uint64_t kGrowMask = 0x3f;
+  // Per-socket passive lists; matches telemetry::kMaxSockets' convention.
+  static constexpr int kSockets = 8;
+  // A passive waiter spins politely this many times, then escalates to
+  // P::PassiveWait (actually ceding the CPU between re-checks).  On an
+  // oversubscribed machine this is the load-shedding GCR exists for: the
+  // surplus leaves the run queue instead of burning slices next to the
+  // holder.
+  static constexpr std::uint32_t kPassiveSpins = 128;
+  static constexpr std::uint64_t kPassiveWaitNs = 50'000;
+};
+
+struct GcrCountersSnapshot {
+  std::uint64_t direct = 0;        // acquisitions that never passivated
+  std::uint64_t passivations = 0;  // acquisitions parked on a passive list
+  std::uint64_t admissions = 0;    // passive waiters promoted by an unlocker
+  std::uint64_t self_admissions = 0;  // passive waiters that let themselves in
+  std::uint64_t rotations = 0;        // forced round-robin admissions
+  std::uint64_t engages = 0;
+  std::uint64_t disengages = 0;
+  // Worst admission wait observed, measured in releases of the underlying
+  // lock between passivation and admission (the unit the rotation bound is
+  // expressed in).
+  std::uint64_t max_admission_wait_releases = 0;
+
+  // Every acquisition is exactly one of the two.
+  std::uint64_t total() const { return direct + passivations; }
+};
+
+template <typename P, Lockable L, typename Cfg = GcrDefaultConfig>
+class GcrLock {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+  static_assert((Cfg::kRotatePeriod & (Cfg::kRotatePeriod - 1)) == 0,
+                "kRotatePeriod must be a power of two");
+  static_assert((Cfg::kAdaptPeriod & (Cfg::kAdaptPeriod - 1)) == 0,
+                "kAdaptPeriod must be a power of two");
+
+ public:
+  using Underlying = L;
+
+  struct alignas(kCacheLineSize) Handle {
+    typename L::Handle inner;
+    // Passive-list fields.  `next` and `socket` are only touched while the
+    // handle is enqueued and only under qlock_; `admitted` is the handoff
+    // flag the owner spins on and carries release/acquire.
+    Handle* gcr_next = nullptr;
+    int gcr_socket = 0;
+    // releases_ value at enqueue; the admitter reads it (under qlock_) to
+    // charge the admission wait at promotion time, so a sleeping waiter's
+    // wake-up latency never inflates the fairness metric.
+    std::uint64_t gcr_parked_at = 0;
+    Atomic<int> admitted{0};
+  };
+
+ private:
+  struct PassiveList {
+    Handle* head = nullptr;
+    Handle* tail = nullptr;
+  };
+
+  struct State {
+    Atomic<int> restricted{0};
+    // Threads currently holding or contending on the underlying lock.
+    // Maintained even while disengaged so an engage mid-flight starts from
+    // an accurate census.
+    Atomic<std::uint32_t> active{0};
+    Atomic<std::uint32_t> active_limit{8};
+    // Releases of the underlying lock observed while the passive list was
+    // non-empty: the clock rotation and the admission-wait bound tick on.
+    Atomic<std::uint64_t> releases{0};
+    Atomic<std::uint32_t> passive_count{0};
+    Atomic<int> qlock{0};
+    // Round-robin admission cursor (under qlock).
+    int rr_socket = 0;
+    PassiveList lists[Cfg::kSockets];
+  };
+
+ public:
+  GcrLock() = default;
+  GcrLock(const GcrLock&) = delete;
+  GcrLock& operator=(const GcrLock&) = delete;
+
+  void Lock(Handle& me) {
+    if (!TryJoinActive()) {
+      Passivate(me);
+      // Admitted (by an unlocker or by ourselves): we are now part of the
+      // active set by decree, not by CAS-under-limit.
+      state_.active.fetch_add(1, std::memory_order_acq_rel);
+    }
+    lock_.Lock(me.inner);
+  }
+
+  void Unlock(Handle& me) {
+    lock_.Unlock(me.inner);
+    state_.active.fetch_sub(1, std::memory_order_acq_rel);
+    const bool restricted =
+        state_.restricted.load(std::memory_order_acquire) != 0;
+    if (state_.passive_count.load(std::memory_order_acquire) == 0) {
+      // Fast exit.  If a passivating thread races past this check unseen it
+      // self-admits from its own spin loop; see Passivate().
+      if (restricted && (P::Random() & Cfg::kGrowMask) == 0) {
+        GrowLimit();
+      }
+      return;
+    }
+    const std::uint64_t rel =
+        state_.releases.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (!restricted) {
+      AdmitAll();
+      return;
+    }
+    const bool rotate = (rel & (Cfg::kRotatePeriod - 1)) == 0;
+    if (rotate || state_.active.load(std::memory_order_relaxed) <
+                      state_.active_limit.load(std::memory_order_relaxed)) {
+      AdmitOne(rotate);
+    }
+    if ((rel & (Cfg::kAdaptPeriod - 1)) == 0) {
+      ShrinkLimit();
+    }
+  }
+
+  bool TryLock(Handle& me)
+    requires TryLockable<L>
+  {
+    if (state_.restricted.load(std::memory_order_acquire) != 0) {
+      // Never passivate on a try: report failure when the active set is
+      // full, as if the lock were busy.
+      std::uint32_t a = state_.active.load(std::memory_order_relaxed);
+      do {
+        if (a >= state_.active_limit.load(std::memory_order_relaxed)) {
+          return false;
+        }
+      } while (!state_.active.compare_exchange_weak(
+          a, a + 1, std::memory_order_acq_rel));
+    } else {
+      state_.active.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (lock_.TryLock(me.inner)) {
+      direct_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    state_.active.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+
+  // --- Restriction control (safe to call concurrently with Lock/Unlock,
+  // --- e.g. from a telemetry callback thread). ---
+
+  void Engage() {
+    if (state_.restricted.exchange(1, std::memory_order_acq_rel) == 0) {
+      engages_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void Disengage() {
+    if (state_.restricted.exchange(0, std::memory_order_acq_rel) != 0) {
+      disengages_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Flush stragglers: anyone who passivated before seeing the flip.
+    AdmitAll();
+  }
+
+  void SetRestricted(bool on) { on ? Engage() : Disengage(); }
+
+  bool Restricted() const {
+    return state_.restricted.load(std::memory_order_acquire) != 0;
+  }
+
+  // Clamp and set the active-set size; also the reset point for adaptation.
+  void SetActiveLimit(std::uint32_t n) {
+    state_.active_limit.store(std::clamp(n, min_active_, max_active_),
+                              std::memory_order_release);
+  }
+  void SetActiveBounds(std::uint32_t min_active, std::uint32_t max_active) {
+    min_active_ = std::max<std::uint32_t>(1, min_active);
+    max_active_ = std::max(min_active_, max_active);
+    SetActiveLimit(state_.active_limit.load(std::memory_order_relaxed));
+  }
+
+  std::uint32_t ActiveLimit() const {
+    return state_.active_limit.load(std::memory_order_relaxed);
+  }
+  std::uint32_t ActiveNow() const {
+    return state_.active.load(std::memory_order_relaxed);
+  }
+  std::uint32_t PassiveNow() const {
+    return state_.passive_count.load(std::memory_order_relaxed);
+  }
+
+  GcrCountersSnapshot Stats() const {
+    GcrCountersSnapshot s;
+    s.direct = direct_.load(std::memory_order_relaxed);
+    s.passivations = passivations_.load(std::memory_order_relaxed);
+    s.admissions = admissions_.load(std::memory_order_relaxed);
+    s.self_admissions = self_admissions_.load(std::memory_order_relaxed);
+    s.rotations = rotations_.load(std::memory_order_relaxed);
+    s.engages = engages_.load(std::memory_order_relaxed);
+    s.disengages = disengages_.load(std::memory_order_relaxed);
+    s.max_admission_wait_releases =
+        max_wait_releases_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Shared state: the wrapped lock plus the restriction words.  (The
+  // diagnostics counters are instrumentation, same convention as
+  // CnaLock's optional stats.)
+  static constexpr std::size_t kStateBytes = L::kStateBytes + sizeof(State);
+
+ private:
+  static int SocketIndex(int socket) {
+    const int s = socket % Cfg::kSockets;
+    return s < 0 ? s + Cfg::kSockets : s;
+  }
+
+  void LockQueue() {
+    for (;;) {
+      int expected = 0;
+      if (state_.qlock.compare_exchange_weak(expected, 1,
+                                             std::memory_order_acquire)) {
+        return;
+      }
+      P::Pause();
+    }
+  }
+  void UnlockQueue() { state_.qlock.store(0, std::memory_order_release); }
+
+  // Fast path: join the active set without passivating.  Succeeds always
+  // when disengaged; under restriction, only while below the limit.
+  bool TryJoinActive() {
+    if (state_.restricted.load(std::memory_order_acquire) == 0) {
+      state_.active.fetch_add(1, std::memory_order_acq_rel);
+      direct_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::uint32_t a = state_.active.load(std::memory_order_relaxed);
+    while (a < state_.active_limit.load(std::memory_order_relaxed)) {
+      if (state_.active.compare_exchange_weak(a, a + 1,
+                                              std::memory_order_acq_rel)) {
+        direct_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Park on this socket's passive list and spin on our own admitted flag.
+  void Passivate(Handle& me) {
+    me.admitted.store(0, std::memory_order_relaxed);
+    me.gcr_next = nullptr;
+    me.gcr_socket = SocketIndex(P::CurrentSocket());
+    me.gcr_parked_at = state_.releases.load(std::memory_order_relaxed);
+    LockQueue();
+    PassiveList& list = state_.lists[me.gcr_socket];
+    if (list.tail == nullptr) {
+      list.head = &me;
+    } else {
+      list.tail->gcr_next = &me;
+    }
+    list.tail = &me;
+    state_.passive_count.fetch_add(1, std::memory_order_acq_rel);
+    UnlockQueue();
+    passivations_.fetch_add(1, std::memory_order_relaxed);
+
+    std::uint32_t spins = 0;
+    while (me.admitted.load(std::memory_order_acquire) == 0) {
+      // Spin briefly for a fast admission, then start ceding the CPU
+      // between re-checks: a passivated thread's whole job is to stop
+      // competing for cycles, and on an oversubscribed machine a polite
+      // PAUSE still occupies a run-queue slot.
+      if (spins < Cfg::kPassiveSpins) {
+        ++spins;
+        P::Pause();
+      } else {
+        P::PassiveWait(Cfg::kPassiveWaitNs);
+      }
+      // Liveness: there may be nobody left to admit us (the last unlocker
+      // can miss our enqueue), or restriction may have lifted.  Re-check on
+      // every iteration -- the loads are local cache hits while nothing
+      // changes, and the simulator's spin-parking heuristic must not park
+      // us on the admitted line with the self-admission path never sampled.
+      if (state_.restricted.load(std::memory_order_acquire) != 0 &&
+          state_.active.load(std::memory_order_relaxed) >=
+              state_.active_limit.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (TrySelfAdmit(me)) {
+        break;
+      }
+    }
+  }
+
+  // Record an admission wait (in releases), called at promotion time.
+  void NoteAdmissionWait(std::uint64_t parked_at) {
+    const std::uint64_t now = state_.releases.load(std::memory_order_relaxed);
+    const std::uint64_t waited = now - parked_at;
+    std::uint64_t prev = max_wait_releases_.load(std::memory_order_relaxed);
+    while (waited > prev && !max_wait_releases_.compare_exchange_weak(
+                                prev, waited, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Unlink our own node (an admitter may have popped us concurrently, so
+  // re-check the flag under the guard first).
+  bool TrySelfAdmit(Handle& me) {
+    LockQueue();
+    if (me.admitted.load(std::memory_order_acquire) != 0) {
+      UnlockQueue();
+      return true;
+    }
+    PassiveList& list = state_.lists[me.gcr_socket];
+    Handle* prev = nullptr;
+    for (Handle* h = list.head; h != nullptr; prev = h, h = h->gcr_next) {
+      if (h != &me) {
+        continue;
+      }
+      (prev == nullptr ? list.head : prev->gcr_next) = me.gcr_next;
+      if (list.tail == &me) {
+        list.tail = prev;
+      }
+      state_.passive_count.fetch_sub(1, std::memory_order_acq_rel);
+      me.admitted.store(1, std::memory_order_release);
+      UnlockQueue();
+      self_admissions_.fetch_add(1, std::memory_order_relaxed);
+      NoteAdmissionWait(me.gcr_parked_at);
+      return true;
+    }
+    // Not on the list: an admitter holds our node and is about to set the
+    // flag.  Keep spinning.
+    UnlockQueue();
+    return false;
+  }
+
+  // Promote one passive waiter.  `rotate` forces round-robin across sockets
+  // (the fairness path); otherwise prefer the releasing thread's socket so
+  // the handoff stays local.
+  void AdmitOne(bool rotate) {
+    Handle* h = nullptr;
+    LockQueue();
+    int s = rotate ? NextNonEmptySocketLocked(state_.rr_socket + 1)
+                   : PreferredSocketLocked();
+    if (s >= 0) {
+      h = PopLocked(s);
+      if (rotate) {
+        state_.rr_socket = s;
+      }
+    }
+    UnlockQueue();
+    if (h != nullptr) {
+      admissions_.fetch_add(1, std::memory_order_relaxed);
+      if (rotate) {
+        rotations_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void AdmitAll() {
+    for (;;) {
+      Handle* h = nullptr;
+      LockQueue();
+      const int s = NextNonEmptySocketLocked(0);
+      if (s >= 0) {
+        h = PopLocked(s);
+      }
+      UnlockQueue();
+      if (h == nullptr) {
+        return;
+      }
+      admissions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Pop the head of socket s's list and set its admitted flag (inside the
+  // guard, so TrySelfAdmit can't race the unlink).  Returns the handle for
+  // diagnostics only -- once the flag is set the owner may already be gone.
+  Handle* PopLocked(int s) {
+    PassiveList& list = state_.lists[s];
+    Handle* h = list.head;
+    list.head = h->gcr_next;
+    if (list.head == nullptr) {
+      list.tail = nullptr;
+    }
+    state_.passive_count.fetch_sub(1, std::memory_order_acq_rel);
+    // Read the enqueue stamp before setting the flag: once admitted is set
+    // the owner may already be gone.
+    const std::uint64_t parked_at = h->gcr_parked_at;
+    h->admitted.store(1, std::memory_order_release);
+    NoteAdmissionWait(parked_at);
+    return h;
+  }
+
+  int PreferredSocketLocked() {
+    const int own = SocketIndex(P::CurrentSocket());
+    if (state_.lists[own].head != nullptr) {
+      return own;
+    }
+    return NextNonEmptySocketLocked(state_.rr_socket + 1);
+  }
+
+  int NextNonEmptySocketLocked(int from) {
+    for (int i = 0; i < Cfg::kSockets; ++i) {
+      const int s = SocketIndex(from + i);
+      if (state_.lists[s].head != nullptr) {
+        return s;
+      }
+    }
+    return -1;
+  }
+
+  void ShrinkLimit() {
+    const std::uint32_t limit =
+        state_.active_limit.load(std::memory_order_relaxed);
+    if (limit > min_active_) {
+      state_.active_limit.store(limit - 1, std::memory_order_relaxed);
+    }
+  }
+
+  void GrowLimit() {
+    const std::uint32_t limit =
+        state_.active_limit.load(std::memory_order_relaxed);
+    if (limit < max_active_) {
+      state_.active_limit.store(limit + 1, std::memory_order_relaxed);
+    }
+  }
+
+  L lock_;
+  State state_;
+  std::uint32_t min_active_ = 1;
+  std::uint32_t max_active_ = 64;
+
+  // Diagnostics only: plain std::atomic so the simulator's schedule space is
+  // identical whether or not anyone reads them.
+  std::atomic<std::uint64_t> direct_{0};
+  std::atomic<std::uint64_t> passivations_{0};
+  std::atomic<std::uint64_t> admissions_{0};
+  std::atomic<std::uint64_t> self_admissions_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> engages_{0};
+  std::atomic<std::uint64_t> disengages_{0};
+  std::atomic<std::uint64_t> max_wait_releases_{0};
+};
+
+}  // namespace cna::locks
+
+#endif  // CNA_LOCKS_GCR_H_

@@ -13,6 +13,7 @@
 #define CNA_PLATFORM_REAL_PLATFORM_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -58,6 +59,15 @@ struct RealPlatform {
   // handles locality, so this is a no-op.  The simulator charges coherence
   // traffic here instead.
   static void OnDataAccess(std::uint64_t /*object_id*/, bool /*write*/) {}
+
+  // Deliberate wait off the fast path: unlike Pause(), actually cedes the
+  // CPU for roughly the given duration.  Used by waiters that have been
+  // taken out of contention on purpose (GCR passivation) -- on an
+  // oversubscribed machine the whole point is to leave the run queue, not
+  // to spin politely next to the holder.
+  static void PassiveWait(std::uint64_t approx_ns) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(approx_ns));
+  }
 
   // External (non-critical-section) work hook: real platforms actually burn
   // the cycles; the simulator advances the local clock instead.

@@ -66,6 +66,16 @@ struct SimPlatform {
     }
   }
 
+  // Deliberate off-fast-path wait (GCR passivation): the fiber's clock jumps
+  // forward, which both models the sleep and keeps the fiber out of the
+  // simulated near-term schedule -- the smallest-clock-first scheduler runs
+  // everyone else for the next approx_ns of simulated time.
+  static void PassiveWait(std::uint64_t approx_ns) {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->AdvanceLocalWork(approx_ns);
+    }
+  }
+
  private:
   static sim::Machine* ActiveMachine() {
     sim::Machine* m = sim::Machine::Active();

@@ -170,11 +170,14 @@ struct HistogramSnapshot {
       return 0;
     }
     const double clamped = std::min(std::max(p, 0.0), 1.0);
-    std::uint64_t rank =
-        static_cast<std::uint64_t>(clamped * static_cast<double>(count));
-    if (rank < 1) {
-      rank = 1;
+    const double exact = clamped * static_cast<double>(count);
+    // Ceiling rank, per the contract above: p99 of 10 samples is the 10th
+    // value (ceil(9.9)), not the 9th that truncation would give.
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) {
+      ++rank;
     }
+    rank = std::min(std::max<std::uint64_t>(rank, 1), count);
     std::uint64_t seen = 0;
     for (int i = 0; i < kHistBuckets; ++i) {
       seen += buckets[static_cast<std::size_t>(i)];

@@ -173,9 +173,7 @@ class SaturationDetector {
       }
       if (p99s.size() >= 4) {
         ev.wait_p99_ns = p99s.back();
-        std::vector<std::uint64_t> sorted = p99s;
-        std::sort(sorted.begin(), sorted.end());
-        const std::uint64_t median = sorted[sorted.size() / 2];
+        const std::uint64_t median = WindowMedian(p99s);
         spike = median > 0 &&
                 static_cast<double>(p99s.back()) >=
                     options_.wait_spike_factor * static_cast<double>(median);
@@ -215,6 +213,19 @@ class SaturationDetector {
   }
 
   const SaturationOptions& options() const { return options_; }
+
+  // True median: mean of the two middle elements on even lengths.  The
+  // obvious sorted[n/2] picks the upper-middle element, which on a window
+  // whose upper half is spiking drags the baseline up with the spike and
+  // suppresses kWaitSpike exactly when it matters.
+  static std::uint64_t WindowMedian(std::vector<std::uint64_t> values) {
+    if (values.empty()) {
+      return 0;
+    }
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return (values[(n - 1) / 2] + values[n / 2]) / 2;
+  }
 
  private:
   void UpdateLocked(Condition c, bool now_active, ConditionEvent ev,

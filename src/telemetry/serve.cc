@@ -1,10 +1,12 @@
 #include "telemetry/serve.h"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -128,6 +130,7 @@ bool TelemetryServer::Start(const ServeOptions& options) {
   }
   port_ = ntohs(bound.sin_port);
   sampler_ = options.sampler;
+  recv_timeout_ms_ = options.recv_timeout_ms;
   listen_fd_.store(fd);
   thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -168,12 +171,34 @@ void TelemetryServer::AcceptLoop() {
 
 void TelemetryServer::HandleConnection(int fd) {
   // Read until the end of the request head (or the bound); HTTP/1.0 GETs
-  // carry no body, so the first CRLFCRLF ends the request.
+  // carry no body, so the first CRLFCRLF ends the request.  The whole head
+  // must arrive within recv_timeout_ms_: this thread is also the accept
+  // loop, so a silent or trickling client must not be able to park here and
+  // blackhole every later scrape.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(recv_timeout_ms_);
   std::string req;
   char buf[1024];
   while (req.size() < kMaxRequestBytes &&
          req.find("\r\n\r\n") == std::string::npos &&
          req.find("\n\n") == std::string::npos) {
+    if (recv_timeout_ms_ > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return;  // out of budget: drop the connection, serve the next one
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0 && errno == EINTR) {
+        continue;
+      }
+      if (ready <= 0) {
+        return;
+      }
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       break;

@@ -33,6 +33,10 @@ struct ServeOptions {
   Sampler* sampler = nullptr;
   // Bind loopback only by default (a diagnostics endpoint, not a service).
   bool loopback_only = true;
+  // Total budget for reading one request head.  The accept loop is a single
+  // thread, so without this a client that connects and sends nothing (or a
+  // half request) would wedge every future scrape.  <= 0 disables.
+  int recv_timeout_ms = 2000;
 };
 
 class TelemetryServer {
@@ -66,6 +70,7 @@ class TelemetryServer {
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   Sampler* sampler_ = nullptr;
+  int recv_timeout_ms_ = 2000;
   std::thread thread_;
   std::atomic<std::uint64_t> requests_{0};
 };

@@ -185,6 +185,40 @@ TEST(LockTorture, CombiningModeOnRealThreads) {
   EXPECT_EQ(torture.table().CombiningSummary().TotalOps(), 900u);
 }
 
+// Saturation mode: far more fibers than the active limit admits, restriction
+// engaged the whole run.  Every op must still complete (rotation + self-
+// admission guarantee no passive fiber is stranded), the surplus must
+// actually have been passivated, and the accounting invariant must hold:
+// every acquisition is exactly one of direct or passivated-then-admitted.
+TEST(LockTorture, GcrSaturationModeCompletesAndPassivates) {
+  sim::MachineConfig cfg;
+  cfg.topology = numa::Topology::Uniform(2, 8);
+  sim::Machine m(cfg);
+  LockTortureOptions o;
+  o.short_delay_ns = 100;
+  o.long_delay_ns = 2'000;
+  o.long_delay_period = 40;
+  kernel::GcrLockTorture<SimPlatform, locks::CnaLock<SimPlatform>> torture(
+      o, /*active_limit=*/2);
+  torture.Engage();
+  constexpr int kFibers = 12;
+  constexpr int kIters = 40;
+  for (int t = 0; t < kFibers; ++t) {
+    m.Spawn([&torture] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        torture.WriterOp(i);
+      }
+    });
+  }
+  m.Run();
+  EXPECT_EQ(torture.Ops(), static_cast<std::uint64_t>(kFibers) * kIters);
+  const auto s = torture.lock().Stats();
+  EXPECT_EQ(s.total(), static_cast<std::uint64_t>(kFibers) * kIters);
+  EXPECT_GT(s.passivations, 0u);
+  EXPECT_EQ(torture.lock().PassiveNow(), 0u);
+  EXPECT_EQ(torture.lock().ActiveNow(), 0u);
+}
+
 TEST(LockTorture, WorksOnRealThreadsToo) {
   LockTorture<RealPlatform, qspin::SlowPathKind::kCna> torture(
       LockTortureOptions{});

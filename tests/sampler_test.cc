@@ -237,6 +237,46 @@ TEST(Saturation, UniformLowContentionDoesNotTrip) {
   EXPECT_EQ(detector.Trips(Condition::kSaturated), 0u);
 }
 
+// The window median must be the true median.  On even windows the old
+// upper-middle pick (sorted[n/2]) sat on the spiking half of the window, so
+// the spike baseline inflated with the spike itself and the detector went
+// blind exactly when the wait distribution was taking off.
+TEST(Saturation, WindowMedianIsTrueMedian) {
+  EXPECT_EQ(SaturationDetector::WindowMedian({}), 0u);
+  EXPECT_EQ(SaturationDetector::WindowMedian({7}), 7u);
+  EXPECT_EQ(SaturationDetector::WindowMedian({5, 1, 3}), 3u);  // odd: middle
+  // Even: mean of the two middles, not the upper one.
+  EXPECT_EQ(SaturationDetector::WindowMedian({1, 2, 3, 4}), 2u);
+  EXPECT_EQ(SaturationDetector::WindowMedian({10, 10, 1000, 3990}), 505u);
+}
+
+TEST(Saturation, EvenWindowSpikeNotMaskedByUpperMiddleBias) {
+  Registry registry;
+  auto& wait = registry.GetHistogram("locktable.wait_ns");
+  Sampler sampler(&registry, SamplerOptions{.capacity = 16});
+  SaturationOptions opts;
+  opts.window = 4;
+  opts.wait_spike_factor = 3.0;
+  SaturationDetector detector(sampler, opts);
+
+  // Steady throughput, but the wait p99 takes off over the last two ticks.
+  // Per-tick p99s (bucket upper bounds): {31, 31, 8191, 16383}.  True median
+  // of the even window is (31 + 8191) / 2 = 4111, so the newest tick is a
+  // ~4x spike and must trip at factor 3.  The old upper-middle pick used
+  // 8191 as the baseline -- dragged up by the spike itself -- and stayed
+  // silent (16383 < 3 * 8191).
+  const std::uint64_t waits[] = {16, 16, 8191, 16383};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (int n = 0; n < 2000; ++n) {
+      wait.Record(0, waits[i]);
+    }
+    sampler.Tick((static_cast<std::uint64_t>(i) + 1) * 1'000'000);
+    detector.Evaluate();
+  }
+  EXPECT_TRUE(detector.Active(Condition::kWaitSpike));
+  EXPECT_GE(detector.Trips(Condition::kWaitSpike), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism gate: a manually-ticked sampler driven on simulated time
 // cannot shift the explored schedule.  Same structure as
@@ -358,6 +398,35 @@ TEST(Serve, ScrapeRoundTrip) {
   server.Stop();
   EXPECT_FALSE(server.running());
   telemetry::SetEnabled(false);
+}
+
+// A client that connects and sends nothing must not wedge the endpoint: the
+// accept loop is a single thread, so before the receive timeout existed this
+// test hung forever -- the silent connection parked HandleConnection in
+// recv() and the /healthz probe never got accepted.
+TEST(Serve, SilentClientCannotStarveHealthz) {
+  telemetry::TelemetryServer server;
+  ASSERT_TRUE(server.Start({.port = 0, .recv_timeout_ms = 100}));
+  ASSERT_GT(server.port(), 0);
+
+  // Connect and go silent.  The server's accept loop picks this connection
+  // up first and must abandon it after the timeout.
+  const int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(silent, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // A well-formed request issued while the silent connection is pending must
+  // still be served (after at most the receive timeout).
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("ok"), std::string::npos);
+
+  ::close(silent);
+  server.Stop();
 }
 
 TEST(Serve, SeriesWithoutSamplerIs404) {

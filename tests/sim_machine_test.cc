@@ -449,7 +449,7 @@ TEST(Machine, SocketTransferCheaperThanRemote) {
 
 TEST(Machine, RejectsOversizedTopology) {
   sim::MachineConfig cfg;
-  cfg.topology = numa::Topology::Uniform(4, 64);  // 256 > kMaxSimCpus
+  cfg.topology = numa::Topology::Uniform(4, 128);  // 512 > kMaxSimCpus
   EXPECT_THROW(sim::Machine m(cfg), std::invalid_argument);
 }
 

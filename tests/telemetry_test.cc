@@ -303,10 +303,32 @@ TEST(TelemetrySnapshot, PercentileIsBucketUpperBound) {
   s.count = 11;
   s.sum = 150;
   EXPECT_EQ(s.P50(), BucketUpperBound(BucketOf(5)));
-  // Floor-rank semantics: rank(0.999 * 11) = 10 still lands in the bulk
-  // bucket; only the full quantile reaches the outlier's bucket.
-  EXPECT_EQ(s.P999(), BucketUpperBound(BucketOf(5)));
+  // Ceiling-rank semantics: p999 of 11 samples is the ceil(0.999 * 11) =
+  // 11th value -- the outlier.  (Rank truncation used to round this down to
+  // the 10th and report the bulk bucket, hiding exactly the tail sample a
+  // p999 exists to surface.)
+  EXPECT_EQ(s.P999(), BucketUpperBound(BucketOf(100)));
   EXPECT_EQ(s.Percentile(1.0), BucketUpperBound(BucketOf(100)));
+}
+
+TEST(TelemetrySnapshot, PercentileRankBoundaries) {
+  // Ten values in ten distinct buckets: value 2^i lands in bucket i for the
+  // small-bucket range, so rank k maps to bucket k - 1 and every boundary is
+  // exactly checkable.
+  telemetry::HistogramSnapshot s;
+  for (int i = 0; i < 10; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] = 1;
+  }
+  s.count = 10;
+  // p99 of 10 samples is the ceil(9.9) = 10th (largest) value, not the 9th
+  // that rank truncation produced.
+  EXPECT_EQ(s.P99(), BucketUpperBound(9));
+  // Exact multiples stay exact: ceil(0.5 * 10) = 5th value.
+  EXPECT_EQ(s.P50(), BucketUpperBound(4));
+  EXPECT_EQ(s.P90(), BucketUpperBound(8));  // ceil(9.0) = 9th
+  // The extremes clamp to the first and last samples.
+  EXPECT_EQ(s.Percentile(0.0), BucketUpperBound(0));
+  EXPECT_EQ(s.Percentile(1.0), BucketUpperBound(9));
 }
 
 // ---------------------------------------------------------------------------
