@@ -14,6 +14,7 @@
 #include "core/any_rwlock_table.h"
 #include "core/registry.h"
 #include "locktable/lock_table.h"
+#include "parking/parking_lot.h"
 #include "platform/real_platform.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
@@ -33,9 +34,11 @@ struct cna_gcr {
 };
 
 struct cna_locktable {
-  cna_locktable(cna::core::LockKind kind, size_t stripes)
+  cna_locktable(cna::core::LockKind kind, size_t stripes,
+                bool blocking = false)
       : impl(cna::core::MakeLockTable<cna::RealPlatform>(
-            kind, cna::locktable::LockTableOptions{.stripes = stripes})) {}
+            kind, cna::locktable::LockTableOptions{.stripes = stripes,
+                                                   .blocking = blocking})) {}
   std::unique_ptr<cna::core::AnyLockTable> impl;
 };
 
@@ -271,6 +274,23 @@ cna_locktable_t* cna_locktable_create_default(size_t stripes) {
   try {
     return new (std::nothrow)
         cna_locktable(cna::core::LockKind::kCna, stripes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+cna_locktable_t* cna_locktable_create_blocking(const char* lock_name,
+                                               size_t stripes) {
+  if (lock_name == nullptr) {
+    return nullptr;
+  }
+  const auto kind = cna::core::LockKindFromName(lock_name);
+  if (!kind.has_value()) {
+    return nullptr;
+  }
+  try {
+    return new (std::nothrow)
+        cna_locktable(*kind, stripes, /*blocking=*/true);
   } catch (...) {
     return nullptr;
   }
@@ -741,6 +761,25 @@ size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
 
 size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table) {
   return table == nullptr ? 0 : table->impl->LockStateBytes();
+}
+
+int cna_parking_get_stats(cna_parking_stats_t* out) {
+  if (out == nullptr) {
+    return EINVAL;
+  }
+  const cna::parking::ParkingLotStats s =
+      cna::parking::ParkingLot<cna::RealPlatform>::Global().Stats();
+  out->enqueues = s.enqueues;
+  out->parks = s.parks;
+  out->unparks = s.unparks;
+  out->timeouts = s.timeouts;
+  out->cancels = s.cancels;
+  return 0;
+}
+
+size_t cna_parking_waiters(void) {
+  return cna::parking::ParkingLot<cna::RealPlatform>::Global()
+      .TotalWaitersApprox();
 }
 
 void cna_telemetry_enable(int on) { cna::telemetry::SetEnabled(on != 0); }

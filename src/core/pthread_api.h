@@ -99,6 +99,15 @@ cna_locktable_t* cna_locktable_create(const char* lock_name, size_t stripes);
 // Creates a lock table backed by the default lock (CNA).
 cna_locktable_t* cna_locktable_create_default(size_t stripes);
 
+// Creates a *blocking* lock table of the named kind: a waiter that loses the
+// stripe spins a short budget, then parks in the process-global parking lot
+// (src/parking/parking_lot.h) until a releasing thread wakes it -- futex
+// semantics instead of unbounded spinning, for oversubscribed deployments.
+// GCR-wrapped kinds park on their own passive lists instead of the generic
+// wrapper.  Returns nullptr if the name is unknown.
+cna_locktable_t* cna_locktable_create_blocking(const char* lock_name,
+                                               size_t stripes);
+
 void cna_locktable_destroy(cna_locktable_t* table);
 
 // Return 0 on success (pthread convention).
@@ -310,6 +319,30 @@ size_t cna_rwlocktable_stripe_of(const cna_rwlocktable_t* table,
 // Total bytes of shared lock state backing the namespace (cna-rw-compact:
 // one 8-byte word per stripe).
 size_t cna_rwlocktable_state_bytes(const cna_rwlocktable_t* table);
+
+// ---------------------------------------------------------------------------
+// Parking lot (src/parking/parking_lot.h): the process-global blocking layer
+// behind every *_create_blocking surface.  Waiters that exhaust their spin
+// budget enqueue on per-socket FIFO queues hashed by lock address and block
+// on a futex until a releasing thread wakes them.
+// ---------------------------------------------------------------------------
+
+typedef struct cna_parking_stats {
+  uint64_t enqueues;  /* waiters that registered in the lot */
+  uint64_t parks;     /* registrations that committed to blocking */
+  uint64_t unparks;   /* waiters handed to a releasing thread's wake */
+  uint64_t timeouts;  /* parks that expired and revalidated on their own */
+  uint64_t cancels;   /* registrations revoked before blocking (lock won) */
+} cna_parking_stats_t;
+
+// Fills *out from the process-global parking lot; returns 0, or EINVAL on a
+// null argument.  Quiescent invariant: enqueues == unparks + timeouts +
+// cancels (every registration leaves the lot exactly one way).
+int cna_parking_get_stats(cna_parking_stats_t* out);
+
+// Approximate number of currently parked waiters across all buckets (exact
+// when the lot is quiescent; 0 means provably empty).
+size_t cna_parking_waiters(void);
 
 // ---------------------------------------------------------------------------
 // Telemetry (src/telemetry/): process-global latency histograms, event

@@ -16,6 +16,7 @@ const std::vector<LockKind>& AllLockKinds() {
       LockKind::kCPtlTkt,    LockKind::kHmcs,
       LockKind::kCst,        LockKind::kMcscr,
       LockKind::kQspinMcs,   LockKind::kQspinCna,
+      LockKind::kQspinCnaParked,
   };
   return kinds;
 }
@@ -41,6 +42,7 @@ std::string_view LockKindName(LockKind kind) {
     case LockKind::kMcscr: return "mcscr";
     case LockKind::kQspinMcs: return "qspin-mcs";
     case LockKind::kQspinCna: return "qspin-cna";
+    case LockKind::kQspinCnaParked: return "qspin-cna-parked";
   }
   return "unknown";
 }
@@ -85,6 +87,8 @@ std::string_view LockKindDescription(LockKind kind) {
       return "Linux qspinlock, stock MCS slow path (4-byte word)";
     case LockKind::kQspinCna:
       return "Linux qspinlock with CNA slow path (the paper's kernel patch)";
+    case LockKind::kQspinCnaParked:
+      return "CNA qspinlock whose queued waiters spin-then-park (blocking)";
   }
   return "";
 }
@@ -110,6 +114,7 @@ bool IsNumaAware(LockKind kind) {
     case LockKind::kHmcs:
     case LockKind::kCst:
     case LockKind::kQspinCna:
+    case LockKind::kQspinCnaParked:
       return true;
     default:
       return false;

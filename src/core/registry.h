@@ -55,6 +55,7 @@ enum class LockKind {
   kMcscr,      // Malthusian MCS (culling + reinjection)
   kQspinMcs,   // Linux qspinlock, stock (MCS slow path)
   kQspinCna,  // Linux qspinlock with the CNA patch
+  kQspinCnaParked,  // CNA qspinlock, queued waiters spin-then-park
 };
 
 // All kinds, in a stable presentation order.
@@ -117,6 +118,9 @@ decltype(auto) WithLockType(LockKind kind, F&& f) {
     case LockKind::kQspinCna:
       return f(
           std::type_identity<qspin::QSpinLock<P, qspin::SlowPathKind::kCna>>{});
+    case LockKind::kQspinCnaParked:
+      return f(std::type_identity<qspin::QSpinLock<
+                   P, qspin::SlowPathKind::kCna, qspin::QspinParkedConfig>>{});
   }
   throw std::invalid_argument("WithLockType: unknown LockKind");
 }

@@ -7,6 +7,10 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace cna::harness {
 
 namespace {
@@ -62,6 +66,7 @@ struct BenchJsonState {
   std::string config;
   std::vector<std::string> tables;       // SeriesTable::ToJson() fragments
   std::vector<std::string> rate_curves;  // pre-rendered curve objects
+  std::vector<std::string> phases;       // pre-rendered phase-CPU objects
   bool atexit_registered = false;
 
   static BenchJsonState& Get() {
@@ -94,6 +99,13 @@ std::string RenderBenchJsonLocked(BenchJsonState& s) {
       os << ',';
     }
     os << s.rate_curves[i];
+  }
+  os << "],\"phases\":[";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << s.phases[i];
   }
   os << "]}";
   return os.str();
@@ -224,6 +236,38 @@ void SetBenchInfo(const std::string& name, const std::string& config) {
   s.EnsureAtExitLocked();
 }
 
+ProcessCpu ProcessCpuNow() {
+  ProcessCpu cpu;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    const auto tv_ns = [](const struct timeval& tv) {
+      return static_cast<std::uint64_t>(tv.tv_sec) * 1'000'000'000ull +
+             static_cast<std::uint64_t>(tv.tv_usec) * 1'000ull;
+    };
+    cpu.user_ns = tv_ns(ru.ru_utime);
+    cpu.system_ns = tv_ns(ru.ru_stime);
+  }
+#endif
+  return cpu;
+}
+
+void RecordPhaseCpu(const std::string& label, const ProcessCpu& before,
+                    const ProcessCpu& after) {
+  const std::uint64_t user =
+      after.user_ns >= before.user_ns ? after.user_ns - before.user_ns : 0;
+  const std::uint64_t sys = after.system_ns >= before.system_ns
+                                ? after.system_ns - before.system_ns
+                                : 0;
+  std::ostringstream os;
+  os << "{\"label\":\"" << JsonEscape(label) << "\",\"user_ns\":" << user
+     << ",\"system_ns\":" << sys << "}";
+  BenchJsonState& s = BenchJsonState::Get();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.phases.push_back(os.str());
+  s.EnsureAtExitLocked();
+}
+
 void RecordRateCurve(const std::string& metric, const std::string& label,
                      const std::vector<telemetry::RatePoint>& points) {
   std::ostringstream os;
@@ -272,6 +316,7 @@ void ResetBenchJson() {
   s.config.clear();
   s.tables.clear();
   s.rate_curves.clear();
+  s.phases.clear();
 }
 
 }  // namespace cna::harness

@@ -3,6 +3,7 @@
 #ifndef CNA_HARNESS_REPORT_H_
 #define CNA_HARNESS_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,25 @@ class SeriesTable {
 // Names the running bench and records its configuration string.  Call once
 // at the top of main(); later calls overwrite.
 void SetBenchInfo(const std::string& name, const std::string& config);
+
+// Process-wide CPU time consumed so far (getrusage(RUSAGE_SELF)), split into
+// user and system components.  A spinning config burns user time, a futex-
+// parking config converts that into (mostly idle) wall time with a little
+// system time -- the split is the evidence the oversubscription benches
+// report.  Zeros on platforms without getrusage.
+struct ProcessCpu {
+  std::uint64_t user_ns = 0;
+  std::uint64_t system_ns = 0;
+  std::uint64_t total_ns() const { return user_ns + system_ns; }
+};
+ProcessCpu ProcessCpuNow();
+
+// Records a bench phase's CPU consumption (typically: ProcessCpuNow() deltas
+// around one sweep point) into the bench document's "phases" array --
+//   {"label": ..., "user_ns": ..., "system_ns": ...}
+// -- alongside tables and rate_curves.  Additive; schema_version stays 1.
+void RecordPhaseCpu(const std::string& label, const ProcessCpu& before,
+                    const ProcessCpu& after);
 
 // Adds a sampler-derived rate trajectory (telemetry::Sampler::RateCurve) to
 // the document, e.g. the acquisition-rate curve observed during one sweep

@@ -74,6 +74,12 @@ struct GcrDefaultConfig {
   // holder.
   static constexpr std::uint32_t kPassiveSpins = 128;
   static constexpr std::uint64_t kPassiveWaitNs = 50'000;
+  // Park timeout when blocking mode is on (SetBlocking): the wake itself is
+  // event-driven -- PopLocked's directed unpark -- so this only bounds the
+  // self-admission liveness recheck.  Much longer than kPassiveWaitNs on
+  // purpose: a parked waiter that re-woke every 50us would burn the same CPU
+  // the park exists to return.
+  static constexpr std::uint64_t kParkTimeoutNs = 2'000'000;
 };
 
 struct GcrCountersSnapshot {
@@ -117,7 +123,9 @@ class GcrLock {
     // charge the admission wait at promotion time, so a sleeping waiter's
     // wake-up latency never inflates the fairness metric.
     std::uint64_t gcr_parked_at = 0;
-    Atomic<int> admitted{0};
+    // 32-bit so it doubles as the park word (platform/park.h) in blocking
+    // mode: the owner parks on it and PopLocked's unpark targets it.
+    Atomic<std::uint32_t> admitted{0};
   };
 
  private:
@@ -234,6 +242,17 @@ class GcrLock {
     return state_.restricted.load(std::memory_order_acquire) != 0;
   }
 
+  // Blocking mode: passive waiters really park (P::Park on their own
+  // admitted word) instead of timed PassiveWait sleeps, and promotion sends
+  // a directed unpark -- the handoff becomes event-driven, killing both the
+  // 0-50us promotion latency of the timer loop and its periodic re-wakes.
+  void SetBlocking(bool on) {
+    blocking_.store(on ? 1 : 0, std::memory_order_release);
+  }
+  bool Blocking() const {
+    return blocking_.load(std::memory_order_acquire) != 0;
+  }
+
   // Clamp and set the active-set size; also the reset point for adaptation.
   void SetActiveLimit(std::uint32_t n) {
     state_.active_limit.store(std::clamp(n, min_active_, max_active_),
@@ -338,6 +357,12 @@ class GcrLock {
       if (spins < Cfg::kPassiveSpins) {
         ++spins;
         P::Pause();
+      } else if (blocking_.load(std::memory_order_acquire) != 0) {
+        // Real park on our own admitted word.  The admitter sets the word
+        // before its directed unpark (PopLocked), and Park rechecks the
+        // word atomically with going to sleep, so the wake cannot be lost;
+        // the timeout only bounds the liveness recheck below.
+        (void)P::Park(&me.admitted, 0u, Cfg::kParkTimeoutNs);
       } else {
         P::PassiveWait(Cfg::kPassiveWaitNs);
       }
@@ -452,6 +477,11 @@ class GcrLock {
     // the owner may already be gone.
     const std::uint64_t parked_at = h->gcr_parked_at;
     h->admitted.store(1, std::memory_order_release);
+    if (blocking_.load(std::memory_order_acquire) != 0) {
+      // Directed unpark at promotion.  Address-keyed only (platform/park.h),
+      // so it stays safe when the owner saw the flag and left already.
+      P::UnparkOne(&h->admitted);
+    }
     NoteAdmissionWait(parked_at);
     return h;
   }
@@ -492,6 +522,9 @@ class GcrLock {
 
   L lock_;
   State state_;
+  // Park-vs-timed-sleep selector for passive waiters.  P::Atomic: it gates
+  // the parking protocol, so the simulator must see it.
+  Atomic<int> blocking_{0};
   std::uint32_t min_active_ = 1;
   std::uint32_t max_active_ = 64;
 

@@ -48,6 +48,14 @@ concept SharedTryLockable =
       { lock.TryLockShared(h) } -> std::convertible_to<bool>;
     };
 
+// Locks that manage their own waiter blocking (GcrLock's passive lists): a
+// blocking table forwards the flag to the lock instead of wrapping stripe
+// acquisitions in the generic spin-then-park of the parking lot.
+template <typename L>
+concept BlockingConfigurable = Lockable<L> && requires(L lock) {
+  lock.SetBlocking(true);
+};
+
 // RAII guard: owns a handle and the critical section.
 template <Lockable L>
 class ScopedLock {

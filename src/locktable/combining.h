@@ -98,6 +98,11 @@ struct CombiningTableOptions {
   // The combiner's own operation is exempt, so the bound never strands the
   // combiner itself.
   std::size_t combining_budget = 64;
+  // Spin-then-park stripe acquisition at oversubscription (see
+  // LockTableOptions::blocking).  Publishers still spin on their own record
+  // word -- combining already bounds that spin to one batch -- but the
+  // combiner's stripe acquisition parks instead of spinning unboundedly.
+  bool blocking = false;
   // Operation latency (submit to completion) and batch-size telemetry:
   // registers "<metrics_name>.wait_ns" and "<metrics_name>.batch_size"
   // histograms (src/telemetry/).  Off by default; nullptr metrics_name means
@@ -140,7 +145,8 @@ class CombiningTable {
   explicit CombiningTable(CombiningTableOptions options = {})
       : table_({.stripes = options.stripes,
                 .padding = options.padding,
-                .collect_stats = options.collect_stats}),
+                .collect_stats = options.collect_stats,
+                .blocking = options.blocking}),
         budget_(options.combining_budget == 0 ? 1 : options.combining_budget),
         pub_(new PubStripe[table_.stripes()]) {
     if (options.collect_stats) {

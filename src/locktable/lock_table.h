@@ -42,6 +42,7 @@
 #include "locktable/stripe_array.h"
 #include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
+#include "parking/parking_lot.h"
 #include "telemetry/metrics.h"
 
 namespace cna::locktable {
@@ -68,6 +69,15 @@ struct LockTableOptions {
   // table flavor's default prefix ("locktable", "rwtable", "combining").
   bool collect_latency = false;
   const char* metrics_name = nullptr;
+  // Spin-then-park blocking at oversubscription: acquisitions try-lock for a
+  // bounded spin budget, then park in the global parking lot
+  // (src/parking/parking_lot.h) keyed by the stripe's lock, and each release
+  // wakes one parked waiter preferring the releasing socket -- CNA's
+  // socket-local handoff carried into the blocking layer.  Locks that manage
+  // their own blocking (BlockingConfigurable, e.g. GcrLock's passive lists)
+  // get the flag forwarded instead.  Off by default: the spinning fast path
+  // is untouched.
+  bool blocking = false;
 };
 
 template <typename P, locks::Lockable L>
@@ -87,7 +97,8 @@ class LockTable {
       : array_(options.stripes, options.padding),
         probe_mask_(std::bit_ceil(std::max<std::uint32_t>(
                         options.stats_probe_period, 1)) -
-                    1) {
+                    1),
+        blocking_(options.blocking) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
     }
@@ -95,6 +106,13 @@ class LockTable {
       lat_ = std::make_unique<TableLatency>(
           options.metrics_name == nullptr ? "locktable"
                                           : options.metrics_name);
+    }
+    if constexpr (locks::BlockingConfigurable<L>) {
+      if (blocking_) {
+        for (std::size_t s = 0; s < array_.stripes(); ++s) {
+          array_.Stripe(s).SetBlocking(true);
+        }
+      }
     }
   }
 
@@ -147,6 +165,7 @@ class LockTable {
     Handle* h = pool_.Detach(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
+    UnparkAfterRelease(s);
   }
 
   // UnlockStripe() that reports "not held by this context" as false instead
@@ -162,6 +181,7 @@ class LockTable {
     RecordHold(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
+    UnparkAfterRelease(s);
     return true;
   }
 
@@ -366,9 +386,63 @@ class LockTable {
     }
   }
 
+  // True when this table wraps stripe acquisitions in the parking lot's
+  // spin-then-park (locks with their own passive layer forward the flag in
+  // the constructor instead; non-try-lockable kinds cannot park at all).
+  static constexpr bool kTableParks =
+      locks::TryLockable<L> && !locks::BlockingConfigurable<L>;
+
+  // Spin-then-park acquisition.  The bounded try-lock spin keeps light
+  // contention identical to the spinning table; past the budget the waiter
+  // parks keyed by the stripe's lock, with TryLock itself as the
+  // publish-then-recheck revalidate -- so the stripe can never sit free with
+  // a sleeping waiter (the lost-wakeup proof is in parking_lot.h).  Wakeups
+  // barge: a woken waiter retries TryLock against concurrent arrivals and
+  // re-parks if it loses, trading strict FIFO for the unlock-side fast path.
+  void AcquireStripeParked(L& lock, Handle& h, std::size_t s, bool multi_key) {
+    if (lock.TryLock(h)) {
+      stats_.OnAcquire(s, /*was_contended=*/false, multi_key);
+      return;
+    }
+    for (std::uint32_t spin = 0; spin < parking::kBlockingSpinBudget; ++spin) {
+      P::Pause();
+      if (lock.TryLock(h)) {
+        stats_.OnAcquire(s, /*was_contended=*/true, multi_key);
+        return;
+      }
+    }
+    auto& lot = parking::ParkingLot<P>::Global();
+    bool acquired = false;
+    while (!acquired) {
+      lot.ParkConditionally(
+          &lock,
+          [&] {
+            acquired = lock.TryLock(h);
+            return !acquired;  // park only while the stripe stays busy
+          },
+          parking::kBlockingParkTimeoutNs);
+    }
+    stats_.OnAcquire(s, /*was_contended=*/true, multi_key);
+  }
+
+  void UnparkAfterRelease(std::size_t s) {
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        parking::ParkingLot<P>::Global().UnparkOne(&StripeLock(s),
+                                                   P::CurrentSocket());
+      }
+    }
+  }
+
   void AcquireStripeImpl(std::size_t s, bool multi_key) {
     Handle& h = pool_.Checkout(s);
     L& lock = StripeLock(s);
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        AcquireStripeParked(lock, h, s, multi_key);
+        return;
+      }
+    }
     if (stats_.enabled()) {
       // Stats mode probes with a try-lock first so contention is observable
       // (sampled when stats_probe_period > 1); the stats-off path below is
@@ -391,6 +465,7 @@ class LockTable {
 
   StripeArray<L> array_;
   std::uint32_t probe_mask_;  // stats_probe_period - 1 (period power of two)
+  bool blocking_;             // immutable after construction
   HandlePool<P, L> pool_;
   TableStats stats_;
   std::unique_ptr<TableLatency> lat_;  // null unless collect_latency

@@ -113,6 +113,10 @@ struct ResizableLockTableOptions {
   // metric names, shared across snapshots -- the registry hands back the
   // same histogram for the same name, so resizes never reset distributions).
   bool collect_latency = false;
+  // Spin-then-park stripe acquisition at oversubscription (see
+  // LockTableOptions::blocking); inherited by every snapshot, so the mode
+  // survives resizes.
+  bool blocking = false;
 };
 
 // Lifetime view across all snapshots, plus the resize/epoch counters the
@@ -496,7 +500,8 @@ class ResizableLockTable {
                  .stats_probe_period =
                      owner_table->options_.stats_probe_period,
                  .collect_latency = owner_table->options_.collect_latency,
-                 .metrics_name = "resizable"}) {
+                 .metrics_name = "resizable",
+                 .blocking = owner_table->options_.blocking}) {
       if (migrating) {
         ready.reset(
             new typename P::template Atomic<std::uint32_t>[table.stripes()]);

@@ -41,6 +41,7 @@
 #include "locktable/stripe_array.h"
 #include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
+#include "parking/parking_lot.h"
 #include "telemetry/metrics.h"
 
 namespace cna::locktable {
@@ -54,8 +55,19 @@ class RwLockTable {
   static constexpr std::size_t kMaxStripes = StripeArray<L>::kMaxStripes;
   static constexpr std::size_t kInlineTxnKeys = 8;
 
+  // Table-level blocking (options.blocking): same wrapper as LockTable --
+  // spin a bounded budget, then park keyed on the stripe lock's address with
+  // TryLock (writers) / TryLockShared (readers) as the revalidation.  A
+  // writer release wakes every waiter (a reader convoy may be queued behind
+  // the writer and all of them can now enter); a reader release wakes one
+  // (only a writer can be blocked by readers, and only one can win).
+  static constexpr bool kTableParks =
+      locks::TryLockable<L> && locks::SharedTryLockable<L> &&
+      !locks::BlockingConfigurable<L>;
+
   explicit RwLockTable(LockTableOptions options = {})
-      : array_(options.stripes, options.padding) {
+      : array_(options.stripes, options.padding),
+        blocking_(options.blocking) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
     }
@@ -104,6 +116,12 @@ class RwLockTable {
   void LockSharedStripeImpl(std::size_t s) {
     Handle& h = shared_pool_.Checkout(s);
     L& lock = StripeLock(s);
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        AcquireSharedParked(lock, h, s);
+        return;
+      }
+    }
     if (stats_.enabled()) {
       if constexpr (locks::SharedTryLockable<L>) {
         if (lock.TryLockShared(h)) {
@@ -136,6 +154,14 @@ class RwLockTable {
     Handle* h = shared_pool_.Detach(s);
     StripeLock(s).UnlockShared(*h);
     shared_pool_.Recycle(h);
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        // Only a writer can be blocked by a reader, and only one can win the
+        // now-free stripe -- wake one, it revalidates with TryLock.
+        parking::ParkingLot<P>::Global().UnparkOne(&StripeLock(s),
+                                                   P::CurrentSocket());
+      }
+    }
   }
 
   // --- Writer side ---
@@ -179,6 +205,13 @@ class RwLockTable {
     Handle* h = excl_pool_.Detach(s);
     StripeLock(s).Unlock(*h);
     excl_pool_.Recycle(h);
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        // A whole reader convoy may have parked behind this writer; all of
+        // them can enter now, so wake everything and let them revalidate.
+        parking::ParkingLot<P>::Global().UnparkAll(&StripeLock(s));
+      }
+    }
   }
 
   // pthread_rwlock_unlock-style release: figures out which mode this context
@@ -359,6 +392,12 @@ class RwLockTable {
   void AcquireExclusiveStripeImpl(std::size_t s) {
     Handle& h = excl_pool_.Checkout(s);
     L& lock = StripeLock(s);
+    if constexpr (kTableParks) {
+      if (blocking_) {
+        AcquireExclusiveParked(lock, h, s);
+        return;
+      }
+    }
     if (stats_.enabled()) {
       // Probe so writer waits (readers to drain, or another writer) are
       // observable; the stats-off path below is the undisturbed acquisition.
@@ -376,7 +415,65 @@ class RwLockTable {
     stats_.OnWriteAcquire(s, /*waited=*/false);
   }
 
+  // Spin-then-park writer acquisition (blocking mode).  Same shape as
+  // LockTable::AcquireStripeParked; a woken writer barges with TryLock and
+  // re-parks if it loses the race.
+  void AcquireExclusiveParked(L& lock, Handle& h, std::size_t s) {
+    if (lock.TryLock(h)) {
+      stats_.OnWriteAcquire(s, /*waited=*/false);
+      return;
+    }
+    for (int i = 0; i < parking::kBlockingSpinBudget; ++i) {
+      P::Pause();
+      if (lock.TryLock(h)) {
+        stats_.OnWriteAcquire(s, /*waited=*/true);
+        return;
+      }
+    }
+    auto& lot = parking::ParkingLot<P>::Global();
+    bool acquired = false;
+    while (!acquired) {
+      lot.ParkConditionally(
+          &lock,
+          [&] {
+            acquired = lock.TryLock(h);
+            return !acquired;  // still blocked -> commit the park
+          },
+          parking::kBlockingParkTimeoutNs);
+    }
+    stats_.OnWriteAcquire(s, /*waited=*/true);
+  }
+
+  // Spin-then-park reader acquisition (blocking mode): identical protocol
+  // with TryLockShared as the revalidation.
+  void AcquireSharedParked(L& lock, Handle& h, std::size_t s) {
+    if (lock.TryLockShared(h)) {
+      stats_.OnReadAcquire(s, /*was_contended=*/false);
+      return;
+    }
+    for (int i = 0; i < parking::kBlockingSpinBudget; ++i) {
+      P::Pause();
+      if (lock.TryLockShared(h)) {
+        stats_.OnReadAcquire(s, /*was_contended=*/true);
+        return;
+      }
+    }
+    auto& lot = parking::ParkingLot<P>::Global();
+    bool acquired = false;
+    while (!acquired) {
+      lot.ParkConditionally(
+          &lock,
+          [&] {
+            acquired = lock.TryLockShared(h);
+            return !acquired;
+          },
+          parking::kBlockingParkTimeoutNs);
+    }
+    stats_.OnReadAcquire(s, /*was_contended=*/true);
+  }
+
   StripeArray<L> array_;
+  bool blocking_;  // immutable after construction
   HandlePool<P, L> shared_pool_;
   HandlePool<P, L> excl_pool_;
   RwTableStats stats_;

@@ -1,0 +1,36 @@
+// Futex-shape blocking primitives: the contract shared by
+// RealPlatform::Park/UnparkOne/UnparkAll (futex(2) on Linux, condvar-bucket
+// fallback elsewhere) and SimPlatform's machine-routed equivalents.
+//
+// Park(addr, expected_bits, timeout_ns) blocks the calling thread while
+// *addr still holds expected_bits.  The value recheck happens atomically
+// with going to sleep (FUTEX_WAIT's in-kernel compare; the simulator's
+// no-yield load), so the classic lost-wakeup window -- value changes and the
+// wake fires between the caller's last check and the sleep -- cannot occur.
+//
+// UnparkOne/UnparkAll wake waiters blocked on the word.  Implementations
+// must treat the pointer as an address-valued key and NEVER dereference it:
+// a waiter may observe the state change, return from Park, and free the
+// frame holding the word before the waker's wake call runs.  All three
+// implementations honour this (futex wake passes the address to the kernel;
+// the condvar fallback hashes the address into a static bucket table; the
+// simulator uses it as a map key).
+#ifndef CNA_PLATFORM_PARK_H_
+#define CNA_PLATFORM_PARK_H_
+
+#include <cstdint>
+
+namespace cna {
+
+enum class ParkResult {
+  kWoken,          // an UnparkOne/UnparkAll arrived (or a spurious wake)
+  kTimeout,        // the timeout expired with no wake
+  kValueMismatch,  // *addr != expected_bits at park time; caller revalidates
+};
+
+// timeout_ns value meaning "wait until explicitly woken".
+inline constexpr std::uint64_t kParkNoTimeout = 0;
+
+}  // namespace cna
+
+#endif  // CNA_PLATFORM_PARK_H_

@@ -18,7 +18,21 @@
 #include <thread>
 
 #include "base/spin_hint.h"
+#include "platform/park.h"
 #include "platform/thread_context.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <ctime>
+#else
+#include <condition_variable>
+#include <mutex>
+#endif
 
 namespace cna {
 
@@ -72,10 +86,138 @@ struct RealPlatform {
   // External (non-critical-section) work hook: real platforms actually burn
   // the cycles; the simulator advances the local clock instead.
   static void ExternalWork(std::uint64_t approx_ns) {
-    // Calibration-free busy loop: ~1ns per iteration on contemporary x86.
-    for (std::uint64_t i = 0; i < approx_ns; ++i) {
+    // One-shot calibration at first use (thread-safe magic static): the loop
+    // rate varies a few x across compilers and cores, so time a fixed batch
+    // against steady_clock once and scale, rather than assuming ~1 iteration
+    // per nanosecond.
+    static const double iters_per_ns = CalibrateExternalWork();
+    const auto iters = static_cast<std::uint64_t>(
+        static_cast<double>(approx_ns) * iters_per_ns);
+    for (std::uint64_t i = 0; i < iters; ++i) {
       asm volatile("" ::: "memory");
     }
+  }
+
+  // --- Blocking primitives (contract in platform/park.h) ---
+
+#if defined(__linux__)
+  static ParkResult Park(std::atomic<std::uint32_t>* addr,
+                         std::uint32_t expected_bits,
+                         std::uint64_t timeout_ns) {
+    static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t),
+                  "futex needs a bare 32-bit word");
+    if (addr->load(std::memory_order_acquire) != expected_bits) {
+      return ParkResult::kValueMismatch;
+    }
+    timespec ts;
+    timespec* tsp = nullptr;
+    if (timeout_ns != kParkNoTimeout) {
+      ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000ull);
+      ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000ull);
+      tsp = &ts;
+    }
+    const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                            FUTEX_WAIT_PRIVATE, expected_bits, tsp, nullptr, 0);
+    if (rc == 0) {
+      return ParkResult::kWoken;
+    }
+    switch (errno) {
+      case ETIMEDOUT:
+        return ParkResult::kTimeout;
+      case EAGAIN:
+        return ParkResult::kValueMismatch;  // the word changed first
+      default:
+        return ParkResult::kWoken;  // EINTR etc.: report as a spurious wake
+    }
+  }
+
+  static void UnparkOne(std::atomic<std::uint32_t>* addr) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+            FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+  }
+
+  static void UnparkAll(std::atomic<std::uint32_t>* addr) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+  }
+#else
+  // Portable fallback: a static table of condvar buckets keyed by address.
+  // The waiter holds the bucket mutex between the value check and the wait,
+  // and the waker bumps the bucket epoch under the same mutex, so the wake
+  // cannot slip into that window.  Collisions only cause spurious wakes,
+  // which the Park contract already allows.
+  static ParkResult Park(std::atomic<std::uint32_t>* addr,
+                         std::uint32_t expected_bits,
+                         std::uint64_t timeout_ns) {
+    ParkBucket& b = BucketFor(addr);
+    std::unique_lock<std::mutex> lk(b.mu);
+    if (addr->load(std::memory_order_acquire) != expected_bits) {
+      return ParkResult::kValueMismatch;
+    }
+    const std::uint64_t epoch = b.epoch;
+    if (timeout_ns == kParkNoTimeout) {
+      b.cv.wait(lk, [&] { return b.epoch != epoch; });
+      return ParkResult::kWoken;
+    }
+    const bool woken =
+        b.cv.wait_for(lk, std::chrono::nanoseconds(timeout_ns),
+                      [&] { return b.epoch != epoch; });
+    return woken ? ParkResult::kWoken : ParkResult::kTimeout;
+  }
+
+  static void UnparkOne(std::atomic<std::uint32_t>* addr) { WakeBucket(addr); }
+  static void UnparkAll(std::atomic<std::uint32_t>* addr) { WakeBucket(addr); }
+#endif
+
+ private:
+#if !defined(__linux__)
+  struct ParkBucket {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;
+  };
+
+  static ParkBucket& BucketFor(const void* addr) {
+    static ParkBucket table[64];
+    auto h = reinterpret_cast<std::uintptr_t>(addr);
+    h ^= h >> 9;
+    return table[(h >> 4) & 63];
+  }
+
+  static void WakeBucket(const void* addr) {
+    ParkBucket& b = BucketFor(addr);
+    {
+      std::lock_guard<std::mutex> lk(b.mu);
+      ++b.epoch;
+    }
+    b.cv.notify_all();
+  }
+#endif
+
+  static double CalibrateExternalWork() {
+    using clock = std::chrono::steady_clock;
+    constexpr std::uint64_t kBatch = 1 << 22;
+    // Take the fastest of a few runs to shed scheduler noise (the first run
+    // doubles as warm-up); clamp to a sane range so a wildly descheduled
+    // calibration cannot turn every work knob into a no-op or a stall.
+    double best_ns = 0;
+    for (int run = 0; run < 3; ++run) {
+      const auto t0 = clock::now();
+      for (std::uint64_t i = 0; i < kBatch; ++i) {
+        asm volatile("" ::: "memory");
+      }
+      const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          clock::now() - t0)
+                          .count();
+      if (dt > 0 && (best_ns == 0 || static_cast<double>(dt) < best_ns)) {
+        best_ns = static_cast<double>(dt);
+      }
+    }
+    if (best_ns <= 0) {
+      return 1.0;
+    }
+    const double rate = static_cast<double>(kBatch) / best_ns;
+    return rate < 0.01 ? 0.01 : (rate > 64.0 ? 64.0 : rate);
   }
 };
 

@@ -41,6 +41,23 @@ enum class SlowPathKind {
 // CNA slow-path tuning; mirrors locks::CnaDefaultConfig.
 struct QspinCnaDefaultConfig {
   static constexpr std::uint64_t kKeepLocalMask = 0xffff;
+  // Spin-then-park for queued waiters (kernel-faithful scope: only NON-head
+  // queued waiters ever park; the queue head and the pending waiter keep
+  // spinning on the word, as in the kernel).  After kParkSpinBudget polite
+  // spins a waiter publishes park intent on its QNode and blocks
+  // (platform/park.h) until the predecessor's headship grant unparks it.
+  // Compile-time so the spinning build carries zero parking code.
+  static constexpr bool kParkWaiters = false;
+  static constexpr std::uint32_t kParkSpinBudget = 512;
+  // Liveness backstop only; the grant/park Dekker protocol is lost-proof.
+  static constexpr std::uint64_t kParkTimeoutNs = 2'000'000;
+};
+
+// The parked flavor: same CNA slow path, queued waiters block past the spin
+// budget.  The right choice at heavy oversubscription, where a spinning
+// non-head waiter's timeslice is stolen from the lock holder.
+struct QspinParkedConfig : QspinCnaDefaultConfig {
+  static constexpr bool kParkWaiters = true;
 };
 
 // Per-CPU queue node storage shared by all qspinlocks over platform P, like
@@ -55,6 +72,10 @@ struct QSpinNodes {
     typename P::template Atomic<int> socket{-1};
     typename P::template Atomic<QNode*> sec_tail{nullptr};
     typename P::template Atomic<QNode*> next{nullptr};
+    // Park intent (configs with kParkWaiters): 1 while the owner is blocked
+    // (or about to block) waiting for headship; cleared by the granter's
+    // exchange or by the owner on exit.  Also the park/wake word.
+    typename P::template Atomic<std::uint32_t> park{0};
     // Written by the owning CPU before the node is published via the tail
     // exchange; read by others only after acquiring through the word.
     std::uint32_t tail_code = 0;
@@ -173,6 +194,9 @@ class QSpinLock {
     me->socket.store(-1, std::memory_order_relaxed);
     me->sec_tail.store(nullptr, std::memory_order_relaxed);
     me->next.store(nullptr, std::memory_order_relaxed);
+    if constexpr (Cfg::kParkWaiters) {
+      me->park.store(0, std::memory_order_relaxed);
+    }
     me->tail_code = EncodeTail(cpu, idx);
 
     const std::uint32_t old = ExchangeTail(me->tail_code);
@@ -183,8 +207,12 @@ class QSpinLock {
       }
       QNode* prev = Nodes::Decode(old & kTailMask);
       prev->next.store(me, std::memory_order_release);
-      while (me->spin.load(std::memory_order_acquire) == 0) {
-        P::Pause();
+      if constexpr (Cfg::kParkWaiters) {
+        WaitForHeadship(me);
+      } else {
+        while (me->spin.load(std::memory_order_acquire) == 0) {
+          P::Pause();
+        }
       }
     } else {
       me->spin.store(1, std::memory_order_relaxed);  // head, empty secondary
@@ -220,7 +248,7 @@ class QSpinLock {
         if (val_.compare_exchange_strong(expected,
                                          kLockedVal | sec_tail->tail_code,
                                          std::memory_order_acquire)) {
-          sec_head->spin.store(1, std::memory_order_release);
+          GrantHeadship(sec_head, 1);
           --pc.depth;
           return;
         }
@@ -242,21 +270,62 @@ class QSpinLock {
   // queue back ahead of `next` for long-term fairness.
   void PassHeadship(QNode* me, QNode* next) {
     if constexpr (kKind == SlowPathKind::kMcs) {
-      next->spin.store(1, std::memory_order_release);
+      GrantHeadship(next, 1);
       return;
     } else {
       std::uintptr_t spin = me->spin.load(std::memory_order_relaxed);
       QNode* succ = nullptr;
       if (KeepLockLocal() &&
           (succ = FindSuccessor(me, next, spin)) != nullptr) {
-        succ->spin.store(spin, std::memory_order_release);
+        GrantHeadship(succ, spin);
       } else if (spin > 1) {
         succ = reinterpret_cast<QNode*>(spin);
         succ->sec_tail.load(std::memory_order_relaxed)
             ->next.store(next, std::memory_order_relaxed);
-        succ->spin.store(1, std::memory_order_release);
+        GrantHeadship(succ, 1);
       } else {
-        next->spin.store(1, std::memory_order_release);
+        GrantHeadship(next, 1);
+      }
+    }
+  }
+
+  // Grants queue-headship: stores the spin word, then (parked builds) wakes
+  // the grantee if it published park intent.  Dekker pairing with
+  // WaitForHeadship: the waiter does "park.store(1); spin recheck", the
+  // granter does "spin store; park exchange" -- both words seq_cst, so
+  // whichever side runs second is guaranteed to see the other's write and
+  // either the waiter never sleeps or the granter issues the wake.
+  void GrantHeadship(QNode* n, std::uintptr_t spin_val) {
+    if constexpr (Cfg::kParkWaiters) {
+      n->spin.store(spin_val, std::memory_order_seq_cst);
+      if (n->park.exchange(0, std::memory_order_seq_cst) != 0) {
+        P::UnparkOne(&n->park);  // address-keyed; QNodes are static per-CPU
+      }
+    } else {
+      n->spin.store(spin_val, std::memory_order_release);
+    }
+  }
+
+  // Bounded spin, then park on the per-CPU QNode until GrantHeadship.
+  void WaitForHeadship(QNode* me) {
+    for (std::uint32_t s = 0; s < Cfg::kParkSpinBudget; ++s) {
+      if (me->spin.load(std::memory_order_acquire) != 0) {
+        return;
+      }
+      P::Pause();
+    }
+    for (;;) {
+      me->park.store(1, std::memory_order_seq_cst);
+      if (me->spin.load(std::memory_order_seq_cst) != 0) {
+        me->park.store(0, std::memory_order_relaxed);
+        return;
+      }
+      (void)P::Park(&me->park, 1u, Cfg::kParkTimeoutNs);
+      if (me->spin.load(std::memory_order_acquire) != 0) {
+        // Granted: the granter's exchange already consumed (or will consume)
+        // the intent; clear defensively for the timeout path.
+        me->park.store(0, std::memory_order_relaxed);
+        return;
       }
     }
   }

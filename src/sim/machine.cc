@@ -127,7 +127,8 @@ void Machine::Run() {
   while (true) {
     const int next = PickNextFiber();
     if (next < 0) {
-      // No runnable fiber.  If any fiber is parked, that is a deadlock.
+      // No runnable fiber and no pending park deadline.  If any fiber is
+      // parked, that is a deadlock.
       bool any_parked = false;
       for (const auto& f : fibers_) {
         any_parked |= f->state == internal::FiberState::kParked;
@@ -138,16 +139,29 @@ void Machine::Run() {
         os << "Machine::Run: deadlock -- parked fibers with no writer:";
         for (std::size_t i = 0; i < fibers_.size(); ++i) {
           if (fibers_[i]->state == internal::FiberState::kParked) {
-            os << " cpu" << fibers_[i]->cpu << "@line0x" << std::hex
-               << fibers_[i]->parked_on_line << std::dec;
+            os << " cpu" << fibers_[i]->cpu;
+            if (fibers_[i]->parked_on_addr != 0) {
+              os << "@addr0x" << std::hex << fibers_[i]->parked_on_addr
+                 << std::dec;
+            } else {
+              os << "@line0x" << std::hex << fibers_[i]->parked_on_line
+                 << std::dec;
+            }
           }
         }
         throw std::logic_error(os.str());
       }
       break;  // all done
     }
+    internal::Fiber& f = *fibers_[static_cast<std::size_t>(next)];
+    if (f.state == internal::FiberState::kParked) {
+      // A timed address park whose deadline is the smallest clock in the
+      // system: fire the timeout deterministically, then run the fiber.
+      RemoveAddrWaiter(f.parked_on_addr, next);
+      WakeAddrParked(f, f.park_deadline_ns, /*woken=*/false);
+    }
     current_fiber_ = next;
-    swapcontext(&scheduler_context_, &fibers_[static_cast<std::size_t>(next)]->context);
+    swapcontext(&scheduler_context_, &f.context);
     current_fiber_ = -1;
   }
   running_ = false;
@@ -157,17 +171,28 @@ void Machine::Run() {
   }
 }
 
+std::uint64_t Machine::EffectiveClock(const internal::Fiber& f) const {
+  if (f.state == internal::FiberState::kRunnable) {
+    return f.clock_ns;
+  }
+  if (f.state == internal::FiberState::kParked && f.parked_on_addr != 0 &&
+      f.park_deadline_ns != kNoParkDeadline) {
+    return f.park_deadline_ns;
+  }
+  return kNoParkDeadline;
+}
+
 int Machine::PickNextFiber() const {
   int best = -1;
-  std::uint64_t best_clock = 0;
+  std::uint64_t best_clock = kNoParkDeadline;
   for (std::size_t i = 0; i < fibers_.size(); ++i) {
-    const auto& f = fibers_[i];
-    if (f->state != internal::FiberState::kRunnable) {
+    const std::uint64_t eff = EffectiveClock(*fibers_[i]);
+    if (eff == kNoParkDeadline) {
       continue;
     }
-    if (best < 0 || f->clock_ns < best_clock) {
+    if (best < 0 || eff < best_clock) {
       best = static_cast<int>(i);
-      best_clock = f->clock_ns;
+      best_clock = eff;
     }
   }
   return best;
@@ -360,15 +385,97 @@ void Machine::MaybeYield() {
     if (static_cast<int>(i) == current_fiber_) {
       continue;
     }
-    const auto& f = fibers_[i];
-    if (f->state == internal::FiberState::kRunnable &&
-        f->clock_ns < me.clock_ns) {
+    // Timed address parks count: their deadline is a scheduling event that
+    // must fire in clock order like any other fiber step.
+    if (EffectiveClock(*fibers_[i]) < me.clock_ns) {
       const int saved = current_fiber_;
       SwitchToScheduler();
       (void)saved;
       return;
     }
   }
+}
+
+void Machine::OnLoadNoYield(std::uintptr_t addr) {
+  internal::Fiber& f = Cur();
+  f.last_load_line = 0;
+  f.consecutive_loads = 0;
+  ChargeAccess(LineOf(addr), AccessKind::kLoad);
+}
+
+bool Machine::ParkCurrentOnAddr(std::uintptr_t addr, std::uint64_t timeout_ns) {
+  internal::Fiber& f = Cur();
+  f.state = internal::FiberState::kParked;
+  f.parked_on_addr = addr;
+  f.park_deadline_ns =
+      timeout_ns == 0 ? kNoParkDeadline : f.clock_ns + timeout_ns;
+  f.park_woken = false;
+  f.last_load_line = 0;
+  f.consecutive_loads = 0;
+  ++total_stats_.parks;
+  addr_waiters_[addr].push_back(current_fiber_);
+  SwitchToScheduler();
+  // Resumed by UnparkOne/AllAddr (park_woken) or by deadline expiry; the
+  // waker/scheduler already cleared the park fields and fixed the clock.
+  return f.park_woken;
+}
+
+void Machine::WakeAddrParked(internal::Fiber& w, std::uint64_t waker_clock,
+                             bool woken) {
+  w.state = internal::FiberState::kRunnable;
+  w.clock_ns = std::max(w.clock_ns, waker_clock);
+  w.parked_on_addr = 0;
+  w.park_deadline_ns = 0;
+  w.park_woken = woken;
+  if (woken) {
+    ++total_stats_.wakeups;
+  }
+}
+
+void Machine::RemoveAddrWaiter(std::uintptr_t addr, int fiber_index) {
+  auto it = addr_waiters_.find(addr);
+  if (it == addr_waiters_.end()) {
+    return;
+  }
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), fiber_index), v.end());
+  if (v.empty()) {
+    addr_waiters_.erase(it);
+  }
+}
+
+void Machine::UnparkOneAddr(std::uintptr_t addr) {
+  auto it = addr_waiters_.find(addr);
+  if (it == addr_waiters_.end()) {
+    return;
+  }
+  const std::uint64_t waker_clock = current_fiber_ >= 0 ? Cur().clock_ns : 0;
+  const int idx = it->second.front();
+  it->second.erase(it->second.begin());
+  if (it->second.empty()) {
+    addr_waiters_.erase(it);
+  }
+  WakeAddrParked(*fibers_[static_cast<std::size_t>(idx)], waker_clock,
+                 /*woken=*/true);
+}
+
+void Machine::UnparkAllAddr(std::uintptr_t addr) {
+  auto it = addr_waiters_.find(addr);
+  if (it == addr_waiters_.end()) {
+    return;
+  }
+  const std::uint64_t waker_clock = current_fiber_ >= 0 ? Cur().clock_ns : 0;
+  const std::vector<int> waiters = std::move(it->second);
+  addr_waiters_.erase(it);
+  for (int idx : waiters) {
+    WakeAddrParked(*fibers_[static_cast<std::size_t>(idx)], waker_clock,
+                   /*woken=*/true);
+  }
+}
+
+std::size_t Machine::AddrWaiters(std::uintptr_t addr) const {
+  auto it = addr_waiters_.find(addr);
+  return it == addr_waiters_.end() ? 0 : it->second.size();
 }
 
 void Machine::PauseHint() {

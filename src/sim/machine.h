@@ -144,6 +144,12 @@ struct Fiber {
   std::uint64_t last_load_bits = 0;
   int consecutive_loads = 0;
   std::uintptr_t parked_on_line = 0;
+  // Address parking (futex-shape, ParkCurrentOnAddr): the word the fiber is
+  // blocked on, its wake deadline on the simulated clock (kNoParkDeadline =
+  // wait forever), and whether the wake was an explicit unpark.
+  std::uintptr_t parked_on_addr = 0;
+  std::uint64_t park_deadline_ns = 0;
+  bool park_woken = false;
   Machine* machine = nullptr;
 };
 
@@ -192,6 +198,32 @@ class Machine {
   // Cooperative yield: switches to another fiber if one has a smaller clock.
   void MaybeYield();
 
+  // Charges a load on `addr`'s line WITHOUT yielding and without the
+  // spin-park heuristic.  SimPlatform::Park uses it for the value recheck
+  // immediately before parking: because no other fiber can run between the
+  // recheck and ParkCurrentOnAddr, check-then-park is atomic -- the
+  // simulator's equivalent of FUTEX_WAIT's in-kernel compare.
+  void OnLoadNoYield(std::uintptr_t addr);
+
+  // --- Futex-shape address parking (SimPlatform::Park/Unpark*) ---
+  //
+  // Unlike the SpinParkIfUnchanged machinery above (which wakes on ANY value
+  // change of the line), address parks wake only on an explicit
+  // UnparkOneAddr/UnparkAllAddr or on deadline expiry -- futex semantics.
+  // Deadline expiry is deterministic: the scheduler treats a timed-parked
+  // fiber as runnable-at-deadline, so it competes on the clock like any
+  // other fiber.  Infinitely-parked fibers join the deadlock check.
+  //
+  // Returns true if explicitly unparked, false if the deadline fired.
+  bool ParkCurrentOnAddr(std::uintptr_t addr, std::uint64_t timeout_ns);
+  // Wakes the longest-parked waiter on `addr` (FIFO), if any.
+  void UnparkOneAddr(std::uintptr_t addr);
+  void UnparkAllAddr(std::uintptr_t addr);
+  // Number of fibers currently address-parked on `addr` (tests).
+  std::size_t AddrWaiters(std::uintptr_t addr) const;
+
+  static constexpr std::uint64_t kNoParkDeadline = ~std::uint64_t{0};
+
   void PauseHint();                      // CPU_PAUSE: small cost + yield
   void AdvanceLocalWork(std::uint64_t ns);  // non-CS work: cost + yield
 
@@ -231,6 +263,12 @@ class Machine {
   void ParkCurrentOn(std::uintptr_t line);
   void SwitchToScheduler();
   int PickNextFiber() const;
+  // Effective schedule clock: clock_ns for runnable fibers, the wake
+  // deadline for timed address parks, "never" otherwise.
+  std::uint64_t EffectiveClock(const internal::Fiber& f) const;
+  void RemoveAddrWaiter(std::uintptr_t addr, int fiber_index);
+  void WakeAddrParked(internal::Fiber& w, std::uint64_t waker_clock,
+                      bool woken);
   internal::Fiber& Cur();
   const internal::Fiber& Cur() const;
   static void FiberTrampoline(unsigned hi, unsigned lo);
@@ -242,6 +280,10 @@ class Machine {
   std::vector<bool> cpu_used_;
   std::unordered_map<std::uintptr_t, LineState> directory_;
   std::unordered_map<std::uintptr_t, std::vector<int>> parked_waiters_;
+  // FIFO waiter lists per parked-on address (futex-shape parking).  Entries
+  // are removed eagerly on unpark and on timeout, so every listed fiber is
+  // genuinely parked on the address.
+  std::unordered_map<std::uintptr_t, std::vector<int>> addr_waiters_;
   CacheStats total_stats_;
   std::vector<CacheStats> cpu_stats_;
   ucontext_t scheduler_context_;

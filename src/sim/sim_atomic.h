@@ -153,6 +153,21 @@ class Atomic {
     return RmwApply([bits](T v) { return static_cast<T>(v & bits); });
   }
 
+  // Park-protocol support (SimPlatform::Park): one charged load with neither
+  // the spin-park heuristic nor a yield, so the caller can compare the value
+  // and park before any other fiber runs -- making check-then-park atomic,
+  // like FUTEX_WAIT's in-kernel recheck.
+  T LoadForPark() const {
+    Machine* m = ActiveMachine();
+    if (m != nullptr) {
+      m->OnLoadNoYield(Addr());
+    }
+    return value_;
+  }
+
+  // The key Machine::ParkCurrentOnAddr/UnparkOneAddr wait and wake on.
+  std::uintptr_t AddressKey() const { return Addr(); }
+
  private:
   // The machine only mediates accesses made from inside a fiber; setup and
   // teardown code touching the same objects goes straight to memory.

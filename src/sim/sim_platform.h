@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "platform/park.h"
 #include "sim/machine.h"
 #include "sim/sim_atomic.h"
 
@@ -73,6 +74,41 @@ struct SimPlatform {
   static void PassiveWait(std::uint64_t approx_ns) {
     if (sim::Machine* m = ActiveMachine()) {
       m->AdvanceLocalWork(approx_ns);
+    }
+  }
+
+  // --- Blocking primitives (contract in platform/park.h) ---
+  //
+  // The recheck uses LoadForPark (charged, no yield), so no fiber can run
+  // between the compare and ParkCurrentOnAddr: the check-then-park step is
+  // atomic under schedule exploration exactly as FUTEX_WAIT is under the
+  // kernel, and every interleaving the scheduler explores around it is a
+  // real futex interleaving.
+  static ParkResult Park(sim::Atomic<std::uint32_t>* addr,
+                         std::uint32_t expected_bits,
+                         std::uint64_t timeout_ns) {
+    sim::Machine* m = ActiveMachine();
+    if (m == nullptr) {
+      return ParkResult::kValueMismatch;  // nothing to block outside fibers
+    }
+    if (addr->LoadForPark() != expected_bits) {
+      m->MaybeYield();
+      return ParkResult::kValueMismatch;
+    }
+    return m->ParkCurrentOnAddr(addr->AddressKey(), timeout_ns)
+               ? ParkResult::kWoken
+               : ParkResult::kTimeout;
+  }
+
+  static void UnparkOne(sim::Atomic<std::uint32_t>* addr) {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->UnparkOneAddr(addr->AddressKey());
+    }
+  }
+
+  static void UnparkAll(sim::Atomic<std::uint32_t>* addr) {
+    if (sim::Machine* m = ActiveMachine()) {
+      m->UnparkAllAddr(addr->AddressKey());
     }
   }
 

@@ -422,6 +422,22 @@ inline Histogram& ResizeDrainHistogram() {
       Registry::Global().GetHistogram("resizable.resize_drain_ns");
   return h;
 }
+inline Counter& ParkingParksCounter() {
+  static Counter& c = Registry::Global().GetCounter("parking.parks");
+  return c;
+}
+inline Counter& ParkingUnparksCounter() {
+  static Counter& c = Registry::Global().GetCounter("parking.unparks");
+  return c;
+}
+inline Counter& ParkingTimeoutsCounter() {
+  static Counter& c = Registry::Global().GetCounter("parking.timeouts");
+  return c;
+}
+inline Histogram& ParkingParkedHistogram() {
+  static Histogram& h = Registry::Global().GetHistogram("parking.parked_ns");
+  return h;
+}
 
 // ---------------------------------------------------------------------------
 // HoldTracker: remembers the acquisition timestamp of (context, key) pairs so

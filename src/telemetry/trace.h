@@ -40,6 +40,8 @@ enum class TraceEventType : std::uint16_t {
   kEpochReclaim = 9,    // quiesced retirees freed (arg = count)
   kWriterWait = 10,     // rwlock writer slow path (dur = wait)
   kReaderWait = 11,     // rwlock reader slow path (dur = wait)
+  kPark = 12,           // waiter blocked in the parking lot (dur = parked)
+  kUnpark = 13,         // directed wakeup delivered to a parked waiter
 };
 
 inline const char* TraceEventName(TraceEventType type) {
@@ -68,6 +70,10 @@ inline const char* TraceEventName(TraceEventType type) {
       return "rwlock.writer_wait";
     case TraceEventType::kReaderWait:
       return "rwlock.reader_wait";
+    case TraceEventType::kPark:
+      return "parking.park";
+    case TraceEventType::kUnpark:
+      return "parking.unpark";
   }
   return "unknown";
 }
