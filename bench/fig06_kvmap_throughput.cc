@@ -19,6 +19,10 @@ int main() {
   const auto machine = sim::MachineConfig::TwoSocket();
   const auto threads = TwoSocketThreads();
   const auto window = DefaultWindowNs();
+  harness::SetBenchInfo(
+      "fig06_kvmap_throughput",
+      "threads_max=" + std::to_string(threads.back()) +
+          " window_ns=" + std::to_string(window) + " key_range=1024");
 
   apps::KvBenchOptions kv;
   kv.key_range = 1024;

@@ -21,6 +21,10 @@ int main() {
       threads.push_back(t);
     }
   }
+  harness::SetBenchInfo(
+      "fig08_fairness",
+      "threads_max=" + std::to_string(threads.back()) +
+          " window_ns=" + std::to_string(DefaultWindowNs()));
 
   KvSweepTable(
       "Figure 8: fairness factor (0.5 fair .. 1 unfair), 2-socket, "

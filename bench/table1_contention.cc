@@ -22,12 +22,22 @@ int main() {
   auto& registry = kernel::LockStatRegistry::Global();
   const int threads = 16;
   const std::uint64_t window = DefaultWindowNs() / 2;
+  harness::SetBenchInfo("table1_contention",
+                        "threads=" + std::to_string(threads) +
+                            " window_ns=" + std::to_string(window));
+  // Numeric companion to the text table below, so the bench-JSON trajectory
+  // can track contended-lock discovery across commits.
+  harness::SeriesTable series(
+      "Table 1: contended spin locks per will-it-scale benchmark "
+      "(lockstat accounting, x = benchmark index)",
+      "bench#", {"contended-locks", "call-sites"});
 
   std::printf("# Table 1: contended spin locks in the will-it-scale "
               "benchmarks (lockstat accounting)\n");
   std::printf("%-16s %-28s %s\n", "Benchmark", "Contended spin locks",
               "Call sites");
 
+  int bench_index = 0;
   for (auto b : kernel::AllWisBenchmarks()) {
     registry.Reset();
     kernel::MiniVfsOptions vfs_options;
@@ -58,7 +68,14 @@ int main() {
       std::printf("%-16s %-28s %s\n", kernel::WisBenchmarkName(b), "(none)",
                   "");
     }
+    std::size_t site_count = 0;
+    for (const auto& lock : contended) {
+      site_count += lock.call_sites.size();
+    }
+    series.AddRow(bench_index++, {static_cast<double>(contended.size()),
+                                  static_cast<double>(site_count)});
   }
+  series.Emit();
   registry.Reset();
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "locks/lock_api.h"
+#include "telemetry/lockdep.h"
 
 namespace cna::core {
 
@@ -56,7 +57,9 @@ struct HandleStack {
 template <typename P, locks::Lockable L>
 class LockAdapter final : public AnyLock {
  public:
-  explicit LockAdapter(std::string name) : name_(std::move(name)) {}
+  explicit LockAdapter(std::string name)
+      : name_(std::move(name)),
+        lockdep_cls_(telemetry::lockdep::InternClass("mutex/" + name_)) {}
 
   void Lock() override {
     auto& stack = StackForThisContext();
@@ -69,6 +72,13 @@ class LockAdapter final : public AnyLock {
     }
     impl_.Lock(*h);
     stack.active.push_back(std::move(h));
+    if (telemetry::lockdep::Enabled()) {
+      static const int site = telemetry::lockdep::InternSite("AnyLock::Lock");
+      telemetry::lockdep::OnAcquired(
+          P::CpuId(), lockdep_cls_, site,
+          reinterpret_cast<std::uintptr_t>(&impl_), /*trylock=*/false,
+          /*shared=*/false, /*nested=*/false, /*wait_ns=*/0);
+    }
   }
 
   void Unlock() override {
@@ -76,6 +86,8 @@ class LockAdapter final : public AnyLock {
     if (stack.active.empty()) {
       throw std::logic_error("AnyLock::Unlock without matching Lock");
     }
+    telemetry::lockdep::OnReleased(P::CpuId(), lockdep_cls_,
+                                   reinterpret_cast<std::uintptr_t>(&impl_));
     auto h = std::move(stack.active.back());
     stack.active.pop_back();
     impl_.Unlock(*h);
@@ -94,6 +106,14 @@ class LockAdapter final : public AnyLock {
       }
       if (impl_.TryLock(*h)) {
         stack.active.push_back(std::move(h));
+        if (telemetry::lockdep::Enabled()) {
+          static const int site =
+              telemetry::lockdep::InternSite("AnyLock::TryLock");
+          telemetry::lockdep::OnAcquired(
+              P::CpuId(), lockdep_cls_, site,
+              reinterpret_cast<std::uintptr_t>(&impl_), /*trylock=*/true,
+              /*shared=*/false, /*nested=*/false, /*wait_ns=*/0);
+        }
         return true;
       }
       stack.free.push_back(std::move(h));
@@ -119,6 +139,7 @@ class LockAdapter final : public AnyLock {
 
   L impl_;
   std::string name_;
+  int lockdep_cls_;  // one class per adapter kind ("mutex/<name>")
   // Indexed by context id; each slot is single-owner, so no synchronization
   // beyond construction is needed.
   std::array<internal::HandleStack<L>, kMaxContexts> stacks_{};

@@ -17,6 +17,7 @@
 #include "parking/parking_lot.h"
 #include "platform/real_platform.h"
 #include "telemetry/export.h"
+#include "telemetry/lockdep.h"
 #include "telemetry/metrics.h"
 #include "telemetry/sampler.h"
 #include "telemetry/serve.h"
@@ -906,5 +907,48 @@ void cna_telemetry_serve_stop(void) { GlobalServer().Stop(); }
 uint64_t cna_telemetry_serve_requests(void) {
   return GlobalServer().requests_served();
 }
+
+void cna_lockdep_enable(int on) {
+  cna::telemetry::lockdep::SetEnabled(on != 0);
+}
+
+int cna_lockdep_enabled(void) {
+  return cna::telemetry::lockdep::Enabled() ? 1 : 0;
+}
+
+uint64_t cna_lockdep_inversions(void) {
+  return cna::telemetry::lockdep::InversionCount();
+}
+
+uint64_t cna_lockdep_park_while_held(void) {
+  return cna::telemetry::lockdep::ParkWhileHeldCount();
+}
+
+char* cna_lockdep_report(void) {
+  try {
+    return MallocString(cna::telemetry::lockdep::ReportText());
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+char* cna_lockdep_dot(void) {
+  try {
+    return MallocString(cna::telemetry::lockdep::ReportDot());
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+char* cna_lockdep_folded(int weight_by_wait) {
+  try {
+    return MallocString(
+        cna::telemetry::lockdep::FoldedStacks(weight_by_wait != 0));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void cna_lockdep_reset(void) { cna::telemetry::lockdep::Reset(); }
 
 }  // extern "C"

@@ -420,6 +420,34 @@ void cna_telemetry_serve_stop(void);
 // Requests served since start (diagnostics; 0 when not running).
 uint64_t cna_telemetry_serve_requests(void);
 
+// ---------------------------------------------------------------------------
+// Lockdep (src/telemetry/lockdep.h): runtime lock-order graphs, held-lock
+// attribution, and deadlock-witness export.  Tracking is off by default; with
+// the library compiled -DCNA_LOCKDEP=0 every call below is a no-op (reports
+// return a stub string, counters return 0, enabled stays 0).
+// ---------------------------------------------------------------------------
+
+// Master switch for lock-dependency tracking (0 = off).
+void cna_lockdep_enable(int on);
+int cna_lockdep_enabled(void);
+
+// Lock-order inversions (cycle-closing edges) recorded so far.
+uint64_t cna_lockdep_inversions(void);
+// Parks taken while at least one tracked lock was held.
+uint64_t cna_lockdep_park_while_held(void);
+
+// Human-readable report: classes, edges, inversion witnesses (both
+// acquisition chains).  malloc'd; free with cna_telemetry_free.
+char* cna_lockdep_report(void);
+// The dependency graph as a DOT digraph (inversions dashed red).  malloc'd.
+char* cna_lockdep_dot(void);
+// flamegraph.pl-compatible folded held-lock stacks, weighted by hold ns
+// (weight_by_wait != 0: by wait ns).  malloc'd.
+char* cna_lockdep_folded(int weight_by_wait);
+
+// Clears the graph, witnesses, and counters (interned names survive).
+void cna_lockdep_reset(void);
+
 }  // extern "C"
 
 #endif  // CNA_CORE_PTHREAD_API_H_

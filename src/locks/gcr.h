@@ -50,6 +50,7 @@
 
 #include "base/cacheline.h"
 #include "locks/lock_api.h"
+#include "telemetry/lockdep.h"
 
 namespace cna::locks {
 
@@ -347,6 +348,17 @@ class GcrLock {
     state_.passive_count.fetch_add(1, std::memory_order_acq_rel);
     UnlockQueue();
     passivations_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::lockdep::Enabled()) {
+      // Admission is a blocking wait, not a lock hold: anything held now is
+      // ordered before the admission grant, and waiting here with locks held
+      // is a park-while-holding hazard.
+      static const int adm_cls =
+          telemetry::lockdep::InternClass("gcr/admission");
+      static const int adm_site =
+          telemetry::lockdep::InternSite("GcrLock::Passivate");
+      telemetry::lockdep::OnBlockingWait(P::CpuId(), adm_cls, adm_site);
+      telemetry::lockdep::OnPark(P::CpuId());
+    }
 
     std::uint32_t spins = 0;
     while (me.admitted.load(std::memory_order_acquire) == 0) {

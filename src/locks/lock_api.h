@@ -16,6 +16,10 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
+
+#include "telemetry/lockdep.h"
+#include "telemetry/metrics.h"
 
 namespace cna::locks {
 
@@ -56,12 +60,42 @@ concept BlockingConfigurable = Lockable<L> && requires(L lock) {
   lock.SetBlocking(true);
 };
 
+// Lock classes may carry their own lockdep class name ("mutex/cna"); guards
+// over locks without one share the catch-all "lock/scoped" class.
+template <typename L>
+constexpr const char* LockdepClassNameOf() {
+  if constexpr (requires { { L::kLockdepName } -> std::convertible_to<const char*>; }) {
+    return L::kLockdepName;
+  } else {
+    return "lock/scoped";
+  }
+}
+
 // RAII guard: owns a handle and the critical section.
 template <Lockable L>
 class ScopedLock {
  public:
-  explicit ScopedLock(L& lock) : lock_(lock) { lock_.Lock(handle_); }
-  ~ScopedLock() { lock_.Unlock(handle_); }
+  explicit ScopedLock(L& lock) : lock_(lock) {
+    lock_.Lock(handle_);
+    if (telemetry::lockdep::Enabled()) {
+      static const int cls =
+          telemetry::lockdep::InternClass(LockdepClassNameOf<L>());
+      static const int site = telemetry::lockdep::InternSite("ScopedLock");
+      ctx_ = telemetry::SelfShard();
+      cls_ = cls;
+      telemetry::lockdep::OnAcquired(
+          ctx_, cls, site, reinterpret_cast<std::uintptr_t>(&lock_),
+          /*trylock=*/false, /*shared=*/false, /*nested=*/false,
+          /*wait_ns=*/0);
+    }
+  }
+  ~ScopedLock() {
+    if (cls_ >= 0) {
+      telemetry::lockdep::OnReleased(
+          ctx_, cls_, reinterpret_cast<std::uintptr_t>(&lock_));
+    }
+    lock_.Unlock(handle_);
+  }
 
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;
@@ -69,6 +103,8 @@ class ScopedLock {
  private:
   L& lock_;
   typename L::Handle handle_;
+  int ctx_ = 0;
+  int cls_ = -1;  // -1 => lockdep was off at acquisition
 };
 
 // RAII guard for the shared (reader) side of a reader-writer lock.
@@ -77,8 +113,26 @@ class ScopedSharedLock {
  public:
   explicit ScopedSharedLock(L& lock) : lock_(lock) {
     lock_.LockShared(handle_);
+    if (telemetry::lockdep::Enabled()) {
+      static const int cls =
+          telemetry::lockdep::InternClass(LockdepClassNameOf<L>());
+      static const int site =
+          telemetry::lockdep::InternSite("ScopedSharedLock");
+      ctx_ = telemetry::SelfShard();
+      cls_ = cls;
+      telemetry::lockdep::OnAcquired(
+          ctx_, cls, site, reinterpret_cast<std::uintptr_t>(&lock_),
+          /*trylock=*/false, /*shared=*/true, /*nested=*/false,
+          /*wait_ns=*/0);
+    }
   }
-  ~ScopedSharedLock() { lock_.UnlockShared(handle_); }
+  ~ScopedSharedLock() {
+    if (cls_ >= 0) {
+      telemetry::lockdep::OnReleased(
+          ctx_, cls_, reinterpret_cast<std::uintptr_t>(&lock_));
+    }
+    lock_.UnlockShared(handle_);
+  }
 
   ScopedSharedLock(const ScopedSharedLock&) = delete;
   ScopedSharedLock& operator=(const ScopedSharedLock&) = delete;
@@ -86,6 +140,8 @@ class ScopedSharedLock {
  private:
   L& lock_;
   typename L::Handle handle_;
+  int ctx_ = 0;
+  int cls_ = -1;  // -1 => lockdep was off at acquisition
 };
 
 }  // namespace cna::locks

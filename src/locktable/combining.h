@@ -146,6 +146,11 @@ class CombiningTable {
       : table_({.stripes = options.stripes,
                 .padding = options.padding,
                 .collect_stats = options.collect_stats,
+                // Forward the name so the inner table's lockdep class is
+                // "combining/stripe" (or the caller's name), not "locktable".
+                .metrics_name = options.metrics_name == nullptr
+                                    ? "combining"
+                                    : options.metrics_name,
                 .blocking = options.blocking}),
         budget_(options.combining_budget == 0 ? 1 : options.combining_budget),
         pub_(new PubStripe[table_.stripes()]) {

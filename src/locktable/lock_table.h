@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
 #include "parking/parking_lot.h"
+#include "telemetry/lockdep.h"
 #include "telemetry/metrics.h"
 
 namespace cna::locktable {
@@ -98,7 +100,12 @@ class LockTable {
         probe_mask_(std::bit_ceil(std::max<std::uint32_t>(
                         options.stats_probe_period, 1)) -
                     1),
-        blocking_(options.blocking) {
+        blocking_(options.blocking),
+        lockdep_cls_(telemetry::lockdep::InternClass(
+            std::string(options.metrics_name == nullptr
+                            ? "locktable"
+                            : options.metrics_name) +
+            "/stripe")) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
     }
@@ -153,6 +160,7 @@ class LockTable {
       if (lat_ != nullptr && telemetry::Enabled()) {
         lat_->tracker.Push(P::CpuId(), s, telemetry::NowNs());
       }
+      LockdepAcquired(s, /*trylock=*/true, /*multi_key=*/false, 0);
       return true;
     }
     stats_.OnTryLockFailure(s);
@@ -162,6 +170,7 @@ class LockTable {
 
   void UnlockStripe(std::size_t s) {
     RecordHold(s);
+    LockdepReleased(s);
     Handle* h = pool_.Detach(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
@@ -179,6 +188,7 @@ class LockTable {
       return false;
     }
     RecordHold(s);
+    LockdepReleased(s);
     StripeLock(s).Unlock(*h);
     pool_.Recycle(h);
     UnparkAfterRelease(s);
@@ -368,9 +378,41 @@ class LockTable {
       const std::uint64_t t1 = telemetry::NowNs();
       lat_->wait.RecordAt(P::CurrentSocket(), P::CpuId(), t1 - t0);
       lat_->tracker.Push(P::CpuId(), s, t1);
+      LockdepAcquired(s, /*trylock=*/false, multi_key, t1 - t0);
       return;
     }
     AcquireStripeImpl(s, multi_key);
+    LockdepAcquired(s, /*trylock=*/false, multi_key, 0);
+  }
+
+  // Lockdep hooks (src/telemetry/lockdep.h): stripes of one table flavor
+  // share a class keyed by metrics name, the stripe lock's address is the
+  // instance (contiguous StripeArray => ascending stripe index == ascending
+  // address, which is what makes MultiGuard's sorted order checkable).
+  // Gated on the lockdep master flag; empty when compiled out.
+  void LockdepAcquired(std::size_t s, bool trylock, bool multi_key,
+                       std::uint64_t wait_ns) {
+    if (telemetry::lockdep::Enabled()) {
+      static const int lock_site =
+          telemetry::lockdep::InternSite("LockTable::LockStripe");
+      static const int multi_site =
+          telemetry::lockdep::InternSite("LockTable::LockKeys");
+      static const int try_site =
+          telemetry::lockdep::InternSite("LockTable::TryLockStripe");
+      telemetry::lockdep::OnAcquired(
+          P::CpuId(), lockdep_cls_,
+          trylock ? try_site : (multi_key ? multi_site : lock_site),
+          reinterpret_cast<std::uintptr_t>(&array_.Stripe(s)), trylock,
+          /*shared=*/false, multi_key, wait_ns);
+    }
+  }
+
+  void LockdepReleased(std::size_t s) {
+    if (telemetry::lockdep::Enabled()) {
+      telemetry::lockdep::OnReleased(
+          P::CpuId(), lockdep_cls_,
+          reinterpret_cast<std::uintptr_t>(&array_.Stripe(s)));
+    }
   }
 
   // Hold time runs from ownership (AcquireStripe/TryLockStripe completion)
@@ -466,6 +508,7 @@ class LockTable {
   StripeArray<L> array_;
   std::uint32_t probe_mask_;  // stats_probe_period - 1 (period power of two)
   bool blocking_;             // immutable after construction
+  int lockdep_cls_;           // lock class shared by every stripe
   HandlePool<P, L> pool_;
   TableStats stats_;
   std::unique_ptr<TableLatency> lat_;  // null unless collect_latency

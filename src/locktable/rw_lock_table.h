@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "locktable/table_latency.h"
 #include "locktable/table_stats.h"
 #include "parking/parking_lot.h"
+#include "telemetry/lockdep.h"
 #include "telemetry/metrics.h"
 
 namespace cna::locktable {
@@ -67,7 +69,12 @@ class RwLockTable {
 
   explicit RwLockTable(LockTableOptions options = {})
       : array_(options.stripes, options.padding),
-        blocking_(options.blocking) {
+        blocking_(options.blocking),
+        lockdep_cls_(telemetry::lockdep::InternClass(
+            std::string(options.metrics_name == nullptr
+                            ? "rwtable"
+                            : options.metrics_name) +
+            "/stripe")) {
     if (options.collect_stats) {
       stats_.Enable(array_.stripes());
     }
@@ -106,11 +113,15 @@ class RwLockTable {
     if (lat_ != nullptr && telemetry::Enabled()) {
       const std::uint64_t t0 = telemetry::NowNs();
       LockSharedStripeImpl(s);
-      lat_->read_wait.RecordAt(P::CurrentSocket(), P::CpuId(),
-                               telemetry::NowNs() - t0);
+      const std::uint64_t wait = telemetry::NowNs() - t0;
+      lat_->read_wait.RecordAt(P::CurrentSocket(), P::CpuId(), wait);
+      LockdepAcquired(s, /*trylock=*/false, /*shared=*/true,
+                      /*multi_key=*/false, wait);
       return;
     }
     LockSharedStripeImpl(s);
+    LockdepAcquired(s, /*trylock=*/false, /*shared=*/true, /*multi_key=*/false,
+                    0);
   }
 
   void LockSharedStripeImpl(std::size_t s) {
@@ -143,6 +154,8 @@ class RwLockTable {
     Handle& h = shared_pool_.Checkout(s);
     if (StripeLock(s).TryLockShared(h)) {
       stats_.OnReadAcquire(s, /*was_contended=*/false);
+      LockdepAcquired(s, /*trylock=*/true, /*shared=*/true, /*multi_key=*/false,
+                      0);
       return true;
     }
     stats_.OnTryLockFailure(s);
@@ -151,6 +164,7 @@ class RwLockTable {
   }
 
   void UnlockSharedStripe(std::size_t s) {
+    LockdepReleased(s);
     Handle* h = shared_pool_.Detach(s);
     StripeLock(s).UnlockShared(*h);
     shared_pool_.Recycle(h);
@@ -187,6 +201,8 @@ class RwLockTable {
       if (lat_ != nullptr && telemetry::Enabled()) {
         lat_->tracker.Push(P::CpuId(), s, telemetry::NowNs());
       }
+      LockdepAcquired(s, /*trylock=*/true, /*shared=*/false,
+                      /*multi_key=*/false, 0);
       return true;
     }
     stats_.OnTryLockFailure(s);
@@ -195,6 +211,7 @@ class RwLockTable {
   }
 
   void UnlockExclusiveStripe(std::size_t s) {
+    LockdepReleased(s);
     if (lat_ != nullptr && telemetry::Enabled()) {
       const std::uint64_t t0 = lat_->tracker.Pop(P::CpuId(), s);
       if (t0 != 0) {
@@ -244,7 +261,7 @@ class RwLockTable {
     std::size_t taken = 0;
     try {
       for (; taken < n; ++taken) {
-        AcquireExclusiveStripe(out[taken]);
+        AcquireExclusiveStripe(out[taken], /*multi_key=*/true);
       }
     } catch (...) {
       UnlockStripesN(out, taken);
@@ -377,16 +394,19 @@ class RwLockTable {
     UnlockStripesN(stripes, n);
   }
 
-  void AcquireExclusiveStripe(std::size_t s) {
+  void AcquireExclusiveStripe(std::size_t s, bool multi_key = false) {
     if (lat_ != nullptr && telemetry::Enabled()) {
       const std::uint64_t t0 = telemetry::NowNs();
       AcquireExclusiveStripeImpl(s);
       const std::uint64_t t1 = telemetry::NowNs();
       lat_->write_wait.RecordAt(P::CurrentSocket(), P::CpuId(), t1 - t0);
       lat_->tracker.Push(P::CpuId(), s, t1);
+      LockdepAcquired(s, /*trylock=*/false, /*shared=*/false, multi_key,
+                      t1 - t0);
       return;
     }
     AcquireExclusiveStripeImpl(s);
+    LockdepAcquired(s, /*trylock=*/false, /*shared=*/false, multi_key, 0);
   }
 
   void AcquireExclusiveStripeImpl(std::size_t s) {
@@ -472,8 +492,43 @@ class RwLockTable {
     stats_.OnReadAcquire(s, /*was_contended=*/true);
   }
 
+  // Lockdep: one class for every stripe of this table (see lockdep.h);
+  // shared acquisitions are tagged so the witness report distinguishes
+  // reader-side from writer-side chains.
+  void LockdepAcquired(std::size_t s, bool trylock, bool shared,
+                       bool multi_key, std::uint64_t wait_ns) {
+    if (telemetry::lockdep::Enabled()) {
+      static const int rd_site =
+          telemetry::lockdep::InternSite("RwLockTable::LockSharedStripe");
+      static const int try_rd_site =
+          telemetry::lockdep::InternSite("RwLockTable::TryLockSharedStripe");
+      static const int wr_site =
+          telemetry::lockdep::InternSite("RwLockTable::LockExclusiveStripe");
+      static const int try_wr_site =
+          telemetry::lockdep::InternSite("RwLockTable::TryLockExclusiveStripe");
+      static const int multi_site =
+          telemetry::lockdep::InternSite("RwLockTable::LockKeys");
+      const int site =
+          multi_key ? multi_site
+                    : (shared ? (trylock ? try_rd_site : rd_site)
+                              : (trylock ? try_wr_site : wr_site));
+      telemetry::lockdep::OnAcquired(
+          P::CpuId(), lockdep_cls_, site,
+          reinterpret_cast<std::uintptr_t>(&array_.Stripe(s)), trylock, shared,
+          multi_key, wait_ns);
+    }
+  }
+  void LockdepReleased(std::size_t s) {
+    if (telemetry::lockdep::Enabled()) {
+      telemetry::lockdep::OnReleased(
+          P::CpuId(), lockdep_cls_,
+          reinterpret_cast<std::uintptr_t>(&array_.Stripe(s)));
+    }
+  }
+
   StripeArray<L> array_;
   bool blocking_;  // immutable after construction
+  int lockdep_cls_;  // lock class shared by every stripe
   HandlePool<P, L> shared_pool_;
   HandlePool<P, L> excl_pool_;
   RwTableStats stats_;

@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "platform/park.h"
+#include "telemetry/lockdep.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -110,6 +111,9 @@ class ParkingLot {
     const bool count_telemetry = telemetry::Enabled();
     const std::uint64_t t0 = count_telemetry ? telemetry::NowNs() : 0;
     stats_parks_.fetch_add(1, std::memory_order_relaxed);
+    // The park is committed (validate saw the lock still held): going to
+    // sleep with locks held is what lockdep's park-while-holding check flags.
+    telemetry::lockdep::OnPark(P::CpuId());
     if (count_telemetry) {
       telemetry::ParkingParksCounter().Add();
     }

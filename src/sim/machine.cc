@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "telemetry/lockdep.h"
+
 namespace cna::sim {
 
 namespace {
@@ -113,6 +115,8 @@ void Machine::Run() {
   }
   ActiveMachineScope scope(this);
   running_ = true;
+  const std::uint64_t lockdep_inversions_before =
+      config_.lockdep_check ? telemetry::lockdep::InversionCount() : 0;
   // Prepare contexts.
   for (auto& f : fibers_) {
     getcontext(&f->context);
@@ -168,6 +172,14 @@ void Machine::Run() {
   final_time_ns_ = 0;
   for (const auto& f : fibers_) {
     final_time_ns_ = std::max(final_time_ns_, f->clock_ns);
+  }
+  if (config_.lockdep_check &&
+      telemetry::lockdep::InversionCount() > lockdep_inversions_before) {
+    // The run completed, but some schedule recorded a cycle-closing lock
+    // order: a different seed could have deadlocked.  Surface the witness.
+    throw std::logic_error("Machine::Run: lockdep recorded a lock-order "
+                           "inversion during this schedule\n" +
+                           telemetry::lockdep::ReportText());
   }
 }
 

@@ -91,6 +91,10 @@ struct MachineConfig {
   std::size_t fiber_stack_bytes = 128 * 1024;
   // Consecutive same-line loads before a fiber is parked as a spinner.
   int spin_park_threshold = 4;
+  // Schedule-exploration gate: when set, Run() throws std::logic_error if
+  // the run recorded any new lock-order inversion (telemetry/lockdep.h) --
+  // sweeping seeds then asserts no schedule can form a cycle-closing edge.
+  bool lockdep_check = false;
 
   static MachineConfig TwoSocket() { return MachineConfig{}; }
   static MachineConfig FourSocket() {

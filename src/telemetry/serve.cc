@@ -11,6 +11,7 @@
 #include <string>
 
 #include "telemetry/export.h"
+#include "telemetry/lockdep.h"
 
 namespace cna::telemetry {
 namespace {
@@ -32,7 +33,10 @@ Response Route(const std::string& path, Sampler* sampler) {
         "  /metrics   Prometheus exposition (cumulative)\n"
         "  /json      registry as JSON (cumulative)\n"
         "  /lockstat  /proc/lock_stat-style text\n"
-        "  /series    sampler time-series ring as JSON\n";
+        "  /series    sampler time-series ring as JSON\n"
+        "  /lockdep   lock-order graph + inversion witnesses (text)\n"
+        "  /lockdep.dot     the dependency graph as a DOT digraph\n"
+        "  /lockdep.folded  held-lock folded stacks (flamegraph.pl input)\n";
     return r;
   }
   if (path == "/healthz") {
@@ -52,6 +56,19 @@ Response Route(const std::string& path, Sampler* sampler) {
   }
   if (path == "/lockstat") {
     r.body = ToLockStatText(SnapshotAll());
+    return r;
+  }
+  if (path == "/lockdep") {
+    r.body = lockdep::ReportText();
+    return r;
+  }
+  if (path == "/lockdep.dot") {
+    r.content_type = "text/vnd.graphviz";
+    r.body = lockdep::ReportDot();
+    return r;
+  }
+  if (path == "/lockdep.folded") {
+    r.body = lockdep::FoldedStacks();
     return r;
   }
   if (path == "/series") {

@@ -42,6 +42,7 @@ enum class TraceEventType : std::uint16_t {
   kReaderWait = 11,     // rwlock reader slow path (dur = wait)
   kPark = 12,           // waiter blocked in the parking lot (dur = parked)
   kUnpark = 13,         // directed wakeup delivered to a parked waiter
+  kLockdepInversion = 14,  // lock-order inversion (arg = from<<8 | to class)
 };
 
 inline const char* TraceEventName(TraceEventType type) {
@@ -74,6 +75,8 @@ inline const char* TraceEventName(TraceEventType type) {
       return "parking.park";
     case TraceEventType::kUnpark:
       return "parking.unpark";
+    case TraceEventType::kLockdepInversion:
+      return "lockdep.inversion";
   }
   return "unknown";
 }

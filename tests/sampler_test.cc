@@ -23,6 +23,8 @@
 #include "core/pthread_api.h"
 #include "harness/runner.h"
 #include "locks/cna.h"
+#include "parking/parking_lot.h"
+#include "platform/real_platform.h"
 #include "sim/machine.h"
 #include "sim/sim_platform.h"
 #include "telemetry/metrics.h"
@@ -435,6 +437,67 @@ TEST(Serve, SeriesWithoutSamplerIs404) {
   EXPECT_NE(HttpGet(server.port(), "/series").find("HTTP/1.0 404"),
             std::string::npos);
   server.Stop();
+}
+
+// Parking activity must be scrapeable: a timed park records the parks
+// counter and the parked_ns histogram, and both surface in /metrics under
+// Prometheus naming.
+TEST(Serve, ParkingCountersAppearInMetrics) {
+  telemetry::SetEnabled(true);
+  parking::ParkingLot<RealPlatform> lot;
+  int key = 0;
+  // Validate passes, nobody unparks: the wait ends by timeout, which still
+  // counts as a completed park with a measured parked_ns.
+  lot.ParkConditionally(&key, [] { return true; },
+                        /*timeout_ns=*/1'000'000);
+
+  telemetry::TelemetryServer server;
+  ASSERT_TRUE(server.Start({.port = 0}));
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("cna_parking_parks"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("cna_parking_parked_ns"), std::string::npos)
+      << metrics;
+  server.Stop();
+  telemetry::SetEnabled(false);
+}
+
+// Every route -- including 404s -- must send Content-Type and
+// Content-Length, so curl/Prometheus/browsers never block on a missing
+// framing header.  Content-Length is also checked against the actual body.
+TEST(Serve, AllRoutesSendContentHeaders) {
+  telemetry::SetEnabled(true);
+  Sampler sampler(&Registry::Global(), SamplerOptions{.capacity = 8});
+  sampler.Tick(1);
+  telemetry::TelemetryServer server;
+  ASSERT_TRUE(server.Start({.port = 0, .sampler = &sampler}));
+
+  const char* routes[] = {"/",        "/healthz",      "/metrics",
+                          "/json",    "/lockstat",     "/series",
+                          "/lockdep", "/lockdep.dot",  "/lockdep.folded",
+                          "/nonesuch"};
+  for (const char* route : routes) {
+    const std::string resp = HttpGet(server.port(), route);
+    ASSERT_EQ(resp.rfind("HTTP/1.0 ", 0), 0u) << route;
+    const std::size_t header_end = resp.find("\r\n\r\n");
+    ASSERT_NE(header_end, std::string::npos) << route;
+    const std::string head = resp.substr(0, header_end);
+    EXPECT_NE(head.find("\r\nContent-Type: "), std::string::npos) << route;
+    const std::size_t cl = head.find("\r\nContent-Length: ");
+    ASSERT_NE(cl, std::string::npos) << route;
+    const std::size_t body_size = resp.size() - (header_end + 4);
+    EXPECT_EQ(std::stoull(head.substr(cl + 18)), body_size) << route;
+  }
+  // Spot-check content types: Prometheus text for /metrics, Graphviz for
+  // the lock-order digraph.
+  EXPECT_NE(HttpGet(server.port(), "/metrics")
+                .find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/lockdep.dot")
+                .find("Content-Type: text/vnd.graphviz"),
+            std::string::npos);
+  server.Stop();
+  telemetry::SetEnabled(false);
 }
 
 // ---------------------------------------------------------------------------

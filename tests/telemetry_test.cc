@@ -500,6 +500,35 @@ TEST(TelemetryTrace, WrappedRingExportsValidChromeTrace) {
   EXPECT_NE(json.find("lock.slow_path"), std::string::npos);
 }
 
+TEST(TelemetryTrace, ParkUnparkEventsRoundTripThroughChromeTrace) {
+  telemetry::TraceRing ring;
+  // A park with a measured duration exports as a complete event ("ph":"X");
+  // the unpark that ended it is instantaneous ("ph":"i").
+  ring.Emit(telemetry::TraceEventType::kPark, /*socket=*/1, /*tid=*/7,
+            /*arg=*/0xabc, /*dur_ns=*/25'000, /*ts_ns=*/5'000);
+  ring.Emit(telemetry::TraceEventType::kUnpark, /*socket=*/0, /*tid=*/3,
+            /*arg=*/0xabc, /*dur_ns=*/0, /*ts_ns=*/30'000);
+  std::vector<telemetry::TraceRecord> out;
+  ring.Collect(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(static_cast<telemetry::TraceEventType>(out[0].type),
+            telemetry::TraceEventType::kPark);
+  EXPECT_EQ(static_cast<telemetry::TraceEventType>(out[1].type),
+            telemetry::TraceEventType::kUnpark);
+
+  const std::string json = telemetry::ToChromeTraceJson(out);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  const std::size_t park_pos = json.find("\"parking.park\"");
+  const std::size_t unpark_pos = json.find("\"parking.unpark\"");
+  ASSERT_NE(park_pos, std::string::npos) << json;
+  ASSERT_NE(unpark_pos, std::string::npos) << json;
+  // The timed park renders as a complete event, the unpark as an instant,
+  // and each phase tag sits in the same event object as its name.
+  EXPECT_NE(json.find("\"ph\":\"X\"", park_pos), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\"", unpark_pos), std::string::npos);
+  EXPECT_LT(json.find("\"ph\":\"X\"", park_pos), unpark_pos);
+}
+
 TEST(TelemetryTrace, EmitRespectsFlagAndCollects) {
   telemetry::ClearTrace();
   telemetry::SetTraceEnabled(false);

@@ -504,6 +504,20 @@ void Render(const std::vector<TickView>& ticks, const RenderOptions& opts) {
   if (!opts.status.empty()) {
     std::printf("%s\n", opts.status.c_str());
   }
+  // Parking summary line: the blocking tier's vital signs, always visible
+  // even when park events are too rare to crack the rate-sorted rows.
+  {
+    auto rate_of = [&rows](const char* name) {
+      const auto it = rows.find(name);
+      return it == rows.end() ? 0.0 : it->second.rate;
+    };
+    const auto parked = rows.find("parking.parked_ns");
+    std::printf("parking: %s parks/s %s unparks/s | parked_ns p99 %s\n",
+                HumanRate(rate_of("parking.parks")).c_str(),
+                HumanRate(rate_of("parking.unparks")).c_str(),
+                parked == rows.end() ? "-"
+                                     : HumanNs(parked->second.p99).c_str());
+  }
   std::printf("%-34s %9s %9s %9s  %s\n", "metric", "rate/s", "p50", "p99",
               "trend (rate)");
   int printed = 0;
